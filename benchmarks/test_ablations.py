@@ -1,0 +1,89 @@
+"""Benchmark: ablations over ATNN's design choices (DESIGN.md section 5).
+
+Three sweeps, each trained on a reduced world so the whole module stays
+tractable:
+
+* similarity weight lambda (0 disables the adversarial distillation),
+* shared vs separate generator/encoder profile embeddings,
+* cross-network depth (0 = plain fully connected towers).
+"""
+
+import pytest
+
+from repro.data.synthetic import TmallConfig, generate_tmall_world
+from repro.experiments import (
+    run_cross_depth_ablation,
+    run_embedding_sharing_ablation,
+    run_lambda_ablation,
+)
+from repro.experiments.configs import get_preset
+
+
+@pytest.fixture(scope="module")
+def ablation_world(bench_preset):
+    """A mid-size world shared by all ablation sweeps.
+
+    Sized between smoke and default so that 9 model trainings finish in a
+    few minutes while preserving the training-signal regime.
+    """
+    base = get_preset(bench_preset).tmall
+    if bench_preset == "smoke":
+        return generate_tmall_world(base)
+    return generate_tmall_world(
+        TmallConfig(
+            n_users=1500,
+            n_items=2000,
+            n_new_items=600,
+            n_interactions=60_000,
+            seed=base.seed,
+        )
+    )
+
+
+def test_lambda_ablation(benchmark, bench_preset, ablation_world, save_report):
+    result = benchmark.pedantic(
+        lambda: run_lambda_ablation(
+            bench_preset, world=ablation_world, lambdas=(0.0, 0.1, 1.0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("ablation_lambda", result.render())
+
+    by_setting = {row.setting: row for row in result.rows}
+    # Distillation on (lambda>0) must not hurt the cold-start path much,
+    # and some positive lambda should be at least as good as lambda=0.
+    best_positive = max(
+        row.auc_generator for row in result.rows if row.setting != "lambda=0"
+    )
+    assert best_positive >= by_setting["lambda=0"].auc_generator - 0.01
+    for row in result.rows:
+        assert row.auc_generator > 0.55
+
+
+def test_embedding_sharing_ablation(
+    benchmark, bench_preset, ablation_world, save_report
+):
+    result = benchmark.pedantic(
+        lambda: run_embedding_sharing_ablation(bench_preset, world=ablation_world),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("ablation_sharing", result.render())
+    for row in result.rows:
+        assert row.auc_generator > 0.55
+        assert row.auc_encoder > 0.55
+
+
+def test_cross_depth_ablation(benchmark, bench_preset, ablation_world, save_report):
+    result = benchmark.pedantic(
+        lambda: run_cross_depth_ablation(
+            bench_preset, world=ablation_world, depths=(0, 2)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("ablation_cross_depth", result.render())
+    rows = {row.setting: row for row in result.rows}
+    assert rows["2 cross layers"].auc_encoder > 0.55
+    assert rows["0 cross layers"].auc_encoder > 0.55

@@ -1,0 +1,100 @@
+"""Micro-benchmarks of the substrate kernels.
+
+These time the hot loops that dominate the table pipelines — tower
+forward/backward passes, the O(1) scoring kernel, exact AUC and GBDT
+fitting — with proper repetition (they are cheap enough to run many
+rounds, unlike the table pipelines).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ATNN, TowerConfig
+from repro.data.synthetic import TmallConfig, generate_tmall_world
+from repro.gbdt import GBDTClassifier
+from repro.metrics import roc_auc
+from repro.nn.losses import binary_cross_entropy
+from repro.nn.optim import Adam
+
+
+@pytest.fixture(scope="module")
+def micro_world():
+    return generate_tmall_world(
+        TmallConfig(
+            n_users=400, n_items=600, n_new_items=200, n_interactions=8_000, seed=2
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def micro_model(micro_world):
+    return ATNN(
+        micro_world.schema,
+        TowerConfig(vector_dim=16, deep_dims=(32, 16), head_dims=(32,),
+                    num_cross_layers=2),
+        rng=np.random.default_rng(0),
+    )
+
+
+def _batch(world, n=512):
+    return {name: col[:n] for name, col in world.interactions.features.items()}
+
+
+def test_bench_forward_pass(benchmark, micro_world, micro_model):
+    """Encoder-path forward over a 512-row batch."""
+    features = _batch(micro_world)
+    micro_model.eval()
+    benchmark(lambda: micro_model.predict_proba(features))
+
+
+def test_bench_train_step(benchmark, micro_world, micro_model):
+    """One full L_i forward + backward + Adam step."""
+    features = _batch(micro_world)
+    labels = micro_world.interactions.label("ctr")[:512]
+    optimizer = Adam(micro_model.parameters(), lr=1e-3)
+    micro_model.train()
+
+    def step():
+        optimizer.zero_grad()
+        loss = binary_cross_entropy(micro_model(features), labels)
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    benchmark(step)
+
+
+def test_bench_o1_scoring_kernel(benchmark, micro_world, micro_model):
+    """The pure serving kernel: score 10k pre-encoded item vectors."""
+    from repro.core import PopularityPredictor
+
+    predictor = PopularityPredictor(micro_model)
+    predictor.fit_user_group(micro_world.active_user_group(0.25))
+    item_vectors = np.random.default_rng(0).normal(
+        size=(10_000, micro_model.config.vector_dim)
+    )
+    result = benchmark(lambda: predictor.score_item_vectors(item_vectors))
+    assert result.shape == (10_000,)
+
+
+def test_bench_exact_auc(benchmark):
+    """Exact midrank AUC over 100k scored samples."""
+    rng = np.random.default_rng(0)
+    labels = (rng.random(100_000) < 0.3).astype(float)
+    scores = rng.normal(size=100_000) + labels
+    value = benchmark(lambda: roc_auc(labels, scores))
+    assert value > 0.7
+
+
+def test_bench_gbdt_fit(benchmark):
+    """Fit a 10-tree GBDT on 10k x 20 features."""
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(10_000, 20))
+    y = (X[:, 0] + X[:, 1] * X[:, 2] > 0).astype(float)
+
+    def fit():
+        model = GBDTClassifier(n_estimators=10, max_depth=4, random_state=0)
+        model.fit(X, y)
+        return model
+
+    benchmark.pedantic(fit, rounds=3, iterations=1)

@@ -1,0 +1,29 @@
+"""Benchmark: extended cold-start comparison (related-work CTR family).
+
+Beyond the paper's four Table I rows, this evaluates LR, FM, Wide & Deep
+and DeepFM under the same protocol.  Expected shape: the flat family sits
+between GBDT and the two-tower models, every flat model degrades without
+statistics, and ATNN still leads the cold-start column.
+"""
+
+from repro.experiments import run_extended_baselines
+
+
+def test_extended_baselines(benchmark, bench_preset, tmall_artifacts, save_report):
+    result = benchmark.pedantic(
+        lambda: run_extended_baselines(bench_preset, world=tmall_artifacts.world),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("extended_baselines", result.render())
+
+    atnn = result.row("ATNN")
+    for name in ("LR", "FM", "Wide&Deep", "DeepFM"):
+        row = result.row(name)
+        assert 0.5 < row.auc_complete < 0.9
+        assert row.degradation < 0, f"{name} should degrade without statistics"
+        assert atnn.auc_profile_only > row.auc_profile_only, (
+            f"ATNN cold-start AUC must beat {name}"
+        )
+    # The deep/factorised members should beat plain LR on complete features.
+    assert result.row("DeepFM").auc_complete > result.row("LR").auc_complete - 0.01

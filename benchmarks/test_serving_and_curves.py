@@ -1,0 +1,48 @@
+"""Benchmarks: serving warm-up and ATNN training dynamics.
+
+Two supplementary experiments beyond the paper's tables:
+
+* **serving warm-up** — the deployed engine's ranking quality must rise
+  as behaviour events stream in (generator path → encoder path with live
+  statistics), quantifying the Section IV-D serving design;
+* **training dynamics** — the adversarial game must converge: ``L_s``
+  decreases and both paths' validation AUCs end above chance.
+"""
+
+from repro.experiments import run_serving_eval, run_training_curves
+
+
+def test_serving_warmup(benchmark, bench_preset, tmall_artifacts, save_report):
+    result = benchmark.pedantic(
+        lambda: run_serving_eval(bench_preset, artifacts=tmall_artifacts),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("serving_warmup", result.render())
+
+    assert result.stages[0].warm_items == 0, "stage 0 must be all-cold"
+    assert result.stages[-1].warm_items > 0, "events must warm some items"
+    assert result.cold_quality > 0.2, "cold generator ranking must carry signal"
+    # The lift shrinks as the cold ranking itself improves (a well-trained
+    # generator leaves less headroom), so require a genuine but modest gain.
+    assert result.warm_quality > result.cold_quality + 0.01, (
+        "live statistics must sharpen the ranking"
+    )
+
+
+def test_training_dynamics(benchmark, bench_preset, tmall_artifacts, save_report):
+    result = benchmark.pedantic(
+        lambda: run_training_curves(bench_preset, world=tmall_artifacts.world),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("training_curves", result.render())
+
+    assert result.n_epochs >= 2
+    # The adversarial similarity loss converges downward ...
+    assert result.loss_s[-1] < result.loss_s[0]
+    # ... the CTR losses do not blow up ...
+    assert result.loss_i[-1] <= result.loss_i[0] + 0.02
+    # ... and both paths end above chance.
+    assert result.auc_encoder[-1] > 0.6
+    assert result.auc_generator[-1] > 0.6

@@ -1,0 +1,44 @@
+"""Benchmark: Table I — item generation ability of ATNN.
+
+Regenerates the paper's Table I (AUC with complete item features vs with
+only item profiles, for GBDT / TNN-FC / TNN-DCN / ATNN), times the full
+pipeline, and asserts the paper's qualitative shape:
+
+* every baseline degrades when item statistics go missing;
+* ATNN's generator path degrades the least (near zero) and has the best
+  cold-start AUC;
+* all AUCs sit in a plausible CTR band.
+"""
+
+from repro.experiments import PAPER_TABLE1, run_table1
+
+
+def test_table1_generation_ability(benchmark, bench_preset, tmall_artifacts, save_report):
+    result = benchmark.pedantic(
+        lambda: run_table1(bench_preset, world=tmall_artifacts.world),
+        rounds=1,
+        iterations=1,
+    )
+
+    report = result.render() + "\n\nPaper reference (Table I):\n" + "\n".join(
+        f"  {model}: profile={vals['profile_only']:.4f} "
+        f"complete={vals['complete']:.4f} degradation={vals['degradation']:.2%}"
+        for model, vals in PAPER_TABLE1.items()
+    )
+    save_report("table1", report)
+
+    # Shape assertions (paper's qualitative claims).
+    atnn = result.row("ATNN")
+    for model in ("GBDT", "TNN-FC", "TNN-DCN"):
+        row = result.row(model)
+        assert row.degradation < 0, f"{model} should degrade without statistics"
+        assert atnn.degradation > row.degradation, (
+            f"ATNN must degrade less than {model}"
+        )
+        assert atnn.auc_profile_only > row.auc_profile_only, (
+            f"ATNN cold-start AUC must beat {model}"
+        )
+    assert atnn.degradation > -0.05, "ATNN degradation should be near zero"
+    for row in result.rows:
+        assert 0.5 < row.auc_profile_only < 0.9
+        assert 0.55 < row.auc_complete < 0.9

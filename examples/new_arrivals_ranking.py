@@ -1,0 +1,98 @@
+"""New-arrivals selection campaign: ATNN vs a human-expert heuristic.
+
+Recreates the workflow behind the paper's Tables II and III on a small
+world: rank the incoming new-arrival pool, pick the top slice, release
+everything, and compare realised business outcomes (IPV / AtF / GMV panels
+and time-to-first-five-transactions) between the model's picks and a
+simulated merchandising expert's picks.
+
+Usage::
+
+    python examples/new_arrivals_ranking.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    ExpertConfig,
+    ExpertSelector,
+    first_k_transaction_time,
+    select_top_k,
+)
+from repro.data.synthetic import TmallConfig, generate_tmall_world, simulate_behavior
+from repro.experiments import build_tmall_artifacts
+from repro.metrics import popularity_group_panel
+from repro.utils import format_table
+
+
+def main() -> None:
+    # Train the full stack once (world + ATNN + popularity service) on a
+    # mid-size world — big enough for the ranking signal to be clear.
+    world = generate_tmall_world(
+        TmallConfig(
+            n_users=1500,
+            n_items=2000,
+            n_new_items=600,
+            n_interactions=60_000,
+            seed=7,
+        )
+    )
+    artifacts = build_tmall_artifacts("smoke", world=world)
+    pool = world.new_items
+    print(f"candidate pool: {len(pool)} new arrivals\n")
+
+    # ------------------------------------------------------------------
+    # Quintile business panel (Table II workflow).
+    # ------------------------------------------------------------------
+    scores = artifacts.predictor.score_items(pool)
+    panel_rng = np.random.default_rng(100)
+    behavior = simulate_behavior(
+        world.new_item_popularity, world.new_item_prices, panel_rng
+    )
+    panel = popularity_group_panel(
+        scores,
+        {
+            "IPV": {7: behavior.cumulative("ipv", 7)},
+            "GMV": {30: behavior.cumulative("gmv", 30)},
+        },
+    )
+    rows = [
+        [label, panel.column("IPV", 7)[i], panel.column("GMV", 30)[i]]
+        for i, label in enumerate(panel.group_labels)
+    ]
+    print(format_table(
+        ["Predicted rank group", "7-day IPV", "30-day GMV"], rows,
+        precision=2, title="Business outcomes by predicted popularity group",
+    ))
+
+    # ------------------------------------------------------------------
+    # Selection A/B test (Table III workflow).
+    # ------------------------------------------------------------------
+    k = len(pool) // 5
+    expert = ExpertSelector(ExpertConfig(judgement_noise=1.2))
+    expert_scores = expert.score(
+        pool, np.random.default_rng(7), insight=world.new_item_quality
+    )
+    expert_picks = select_top_k(expert_scores, k)
+    model_picks = select_top_k(scores, k)
+
+    outcome = simulate_behavior(
+        world.new_item_popularity, world.new_item_prices,
+        np.random.default_rng(200),
+    )
+    expert_days = first_k_transaction_time(
+        outcome.first_k_day[expert_picks], outcome.horizon_days
+    )
+    model_days = first_k_transaction_time(
+        outcome.first_k_day[model_picks], outcome.horizon_days
+    )
+    overlap = len(set(expert_picks) & set(model_picks))
+
+    print(f"\nselection size per arm: {k} (overlap {overlap})")
+    print(f"expert picks — avg days to 5 transactions: {expert_days:.2f}")
+    print(f"ATNN picks   — avg days to 5 transactions: {model_days:.2f}")
+    print(f"improvement: {100 * (expert_days - model_days) / expert_days:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Quickstart: train ATNN on a synthetic Tmall world and score new arrivals.
+
+Runs in well under a minute and walks through the full public API:
+
+1. generate a synthetic e-commerce world,
+2. train the adversarial two-tower model (Algorithm 1),
+3. evaluate both prediction paths (encoder vs cold-start generator),
+4. build the O(1) popularity service and rank the new arrivals.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import ATNN, ATNNTrainer, PopularityPredictor, TowerConfig
+from repro.data import train_test_split
+from repro.data.synthetic import TmallConfig, generate_tmall_world
+from repro.metrics import roc_auc
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A small synthetic world: users, released items (with engagement
+    #    statistics), new arrivals (profiles only) and click interactions.
+    # ------------------------------------------------------------------
+    world = generate_tmall_world(
+        TmallConfig(
+            n_users=1000,
+            n_items=1500,
+            n_new_items=500,
+            n_interactions=40_000,
+            seed=7,
+        )
+    )
+    train, test = train_test_split(
+        world.interactions, test_fraction=0.2, rng=np.random.default_rng(0)
+    )
+    print(f"world: {len(world.users)} users, {len(world.items)} items, "
+          f"{len(world.new_items)} new arrivals, {len(train)} train rows")
+
+    # ------------------------------------------------------------------
+    # 2. ATNN: item encoder (profiles + statistics), generator (profiles
+    #    only, shared embeddings) and user tower, trained by alternating
+    #    L_i and L_g + lambda * L_s.
+    # ------------------------------------------------------------------
+    model = ATNN(
+        world.schema,
+        TowerConfig(vector_dim=16, deep_dims=(32, 16), head_dims=(32,),
+                    num_cross_layers=2),
+        rng=np.random.default_rng(1),
+    )
+    trainer = ATNNTrainer(
+        lambda_similarity=0.1, epochs=3, batch_size=512, lr=2e-3, verbose=True
+    )
+    trainer.fit(model, train)
+
+    # ------------------------------------------------------------------
+    # 3. Both CTR paths on held-out interactions.
+    # ------------------------------------------------------------------
+    labels = test.label("ctr")
+    auc_encoder = roc_auc(labels, model.predict_proba(test.features))
+    auc_generator = roc_auc(labels, model.predict_proba_cold_start(test.features))
+    print(f"\nencoder-path AUC (complete features): {auc_encoder:.4f}")
+    print(f"generator-path AUC (profiles only):   {auc_generator:.4f}")
+
+    # ------------------------------------------------------------------
+    # 4. O(1) popularity: store the mean user vector of the active-user
+    #    group once, then score each new arrival against it.
+    # ------------------------------------------------------------------
+    predictor = PopularityPredictor(model)
+    predictor.fit_user_group(world.active_user_group(fraction=0.25))
+    scores = predictor.score_items(world.new_items)
+
+    top = np.argsort(scores)[::-1][:5]
+    print("\ntop-5 predicted new arrivals (score / true popularity):")
+    for item in top:
+        print(f"  item {item:4d}: {scores[item]:.3f} / "
+              f"{world.new_item_popularity[item]:.3f}")
+    corr = np.corrcoef(scores, world.new_item_popularity)[0, 1]
+    print(f"\ncorrelation with ground-truth popularity: {corr:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""User-preference segmentation: the paper's future-work direction.
+
+Section VI of the paper suggests grouping users by preference before
+making new-arrival predictions.  This example clusters the active-user
+group in the trained model's vector space, compares the segmented
+popularity ranking with the single-mean-vector strategy, and surfaces
+*niche* items — strong for one taste segment, unremarkable on average —
+that a single global ranking would bury.
+
+Usage::
+
+    python examples/segmented_popularity.py
+"""
+
+import numpy as np
+
+from repro.core import SegmentedPopularityPredictor
+from repro.data.synthetic import TmallConfig, generate_tmall_world
+from repro.experiments import build_tmall_artifacts
+from repro.metrics import rank_correlation
+from repro.utils import format_table
+
+
+def main() -> None:
+    world = generate_tmall_world(
+        TmallConfig(
+            n_users=1500,
+            n_items=2000,
+            n_new_items=600,
+            n_interactions=60_000,
+            seed=7,
+        )
+    )
+    artifacts = build_tmall_artifacts("smoke", world=world)
+
+    predictor = SegmentedPopularityPredictor(artifacts.model, n_segments=4)
+    predictor.fit_user_group(
+        world.active_user_group(0.25), rng=np.random.default_rng(0)
+    )
+    sizes = ", ".join(f"{w:.1%}" for w in predictor.segment_weights)
+    print(f"taste segments: {predictor.clustering.k} "
+          f"(user-group shares: {sizes})\n")
+
+    truth = world.new_item_popularity
+    single = artifacts.predictor.score_items(world.new_items)
+    seg_mean = predictor.score_items(world.new_items, aggregation="mean")
+    seg_max = predictor.score_items(world.new_items, aggregation="max")
+
+    print(format_table(
+        ["Ranking strategy", "Rank corr vs true popularity"],
+        [
+            ["single mean user vector (paper)", rank_correlation(single, truth)],
+            ["segmented, weighted mean", rank_correlation(seg_mean, truth)],
+            ["segmented, best segment (max)", rank_correlation(seg_max, truth)],
+        ],
+        precision=4,
+    ))
+
+    # Niche discovery: items one segment loves far more than the average.
+    matrix = predictor.segment_scores(world.new_items)
+    niche = predictor.niche_items(world.new_items, top_k=5)
+    print("\nniche candidates (best-segment score vs weighted mean):")
+    for item in niche:
+        best_segment = int(matrix[item].argmax())
+        print(
+            f"  item {item:4d}: segment {best_segment} scores "
+            f"{matrix[item].max():.3f} vs mean {matrix[item] @ predictor.segment_weights:.3f} "
+            f"(true popularity {truth[item]:.3f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Reproduction of "ATNN: Adversarial Two-Tower Neural Network for New
+Item's Popularity Prediction in E-commerce" (ICDE 2021).
+
+Subpackages
+-----------
+``repro.nn``
+    From-scratch autograd engine, layers (DCN, embeddings), optimizers.
+``repro.gbdt``
+    Histogram gradient boosting (the paper's GBDT baseline).
+``repro.data``
+    Feature schemas, datasets, and synthetic Tmall / Ele.me worlds.
+``repro.core``
+    Two-tower models, ATNN (Algorithm 1), multi-task ATNN (Algorithm 2),
+    the O(1) popularity service and the A/B-test simulators.
+``repro.metrics``
+    AUC, regression errors, business indicators.
+``repro.experiments``
+    Pipelines regenerating each of the paper's Tables I-V.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

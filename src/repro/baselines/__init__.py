@@ -1,0 +1,15 @@
+"""The related-work CTR baseline family (Section II-B of the paper)."""
+
+from repro.baselines.base import FlatCTRModel
+from repro.baselines.deepfm import DeepFM
+from repro.baselines.fm import FactorizationMachine
+from repro.baselines.logistic import LogisticRegressionCTR
+from repro.baselines.wide_deep import WideAndDeep
+
+__all__ = [
+    "FlatCTRModel",
+    "DeepFM",
+    "FactorizationMachine",
+    "LogisticRegressionCTR",
+    "WideAndDeep",
+]

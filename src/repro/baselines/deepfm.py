@@ -1,0 +1,66 @@
+"""DeepFM (Guo et al., IJCAI 2017).
+
+Combines an FM component and a deep MLP that *share the same embedding
+vectors*: the FM's factor tables double as the deep part's feature
+embeddings, which is DeepFM's distinguishing design over Wide & Deep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import FlatCTRModel
+from repro.baselines.fm import FactorizationMachine
+from repro.data.schema import FeatureSchema
+from repro.nn.layers import MLP
+from repro.nn.tensor import Tensor, concat
+
+__all__ = ["DeepFM"]
+
+
+class DeepFM(FlatCTRModel):
+    """FM + deep network over shared factor embeddings.
+
+    Parameters
+    ----------
+    schema:
+        Dataset schema.
+    factor_dim:
+        Shared embedding/factor width.
+    hidden_dims:
+        Deep MLP widths (a scalar output layer is appended).
+    groups:
+        Feature groups consumed.
+    rng:
+        Generator for initialisation.
+    """
+
+    def __init__(
+        self,
+        schema: FeatureSchema,
+        factor_dim: int = 8,
+        hidden_dims: Sequence[int] = (64, 32),
+        groups: Sequence[str] = ("user", "item_profile", "item_stat"),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(schema, groups)
+        rng = rng if rng is not None else np.random.default_rng()
+        self.fm = FactorizationMachine(schema, factor_dim, groups, rng=rng)
+        deep_in = (
+            len(self.categorical_features) + len(self.numeric_names)
+        ) * factor_dim
+        self.deep = MLP(
+            deep_in, list(hidden_dims) + [1], output_activation="identity", rng=rng
+        )
+
+    def _deep_logits(self, features: Dict[str, np.ndarray]) -> Tensor:
+        # The deep input is the concatenation of every field's factor
+        # vector — the same vectors the FM interacts, per DeepFM's design.
+        fields = self.fm._field_vectors(features)
+        joined = concat(fields, axis=-1)
+        return self.deep(joined).reshape(-1)
+
+    def logits(self, features: Dict[str, np.ndarray]) -> Tensor:
+        return self.fm.logits(features) + self._deep_logits(features)

@@ -1,0 +1,86 @@
+"""Command-line interface: ``atnn-repro <experiment> [--preset NAME]``.
+
+Examples
+--------
+::
+
+    atnn-repro list
+    atnn-repro table1 --preset smoke
+    atnn-repro all --preset default --output results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments import available_experiments, run_all, run_experiment
+from repro.utils.serialization import save_json
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="atnn-repro",
+        description=(
+            "Reproduce the experiments of 'ATNN: Adversarial Two-Tower "
+            "Neural Network for New Item's Popularity Prediction in "
+            "E-commerce' (ICDE 2021)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help=(
+            "experiment name ('list' to enumerate, 'all' to run every "
+            "table): " + ", ".join(available_experiments())
+        ),
+    )
+    parser.add_argument(
+        "--preset",
+        default="default",
+        choices=["smoke", "default", "paper"],
+        help="size preset (smoke: seconds, default: minutes, paper: hours)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="directory for JSON result dumps (optional)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        for name in available_experiments():
+            print(name)
+        return 0
+
+    if args.experiment == "all":
+        results = run_all(args.preset, verbose=True)
+        if args.output is not None:
+            for name, result in results.items():
+                if hasattr(result, "as_dict"):
+                    save_json(result.as_dict(), args.output / f"{name}.json")
+        return 0
+
+    try:
+        result = run_experiment(args.experiment, preset=args.preset)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(result.render())
+    if args.output is not None and hasattr(result, "as_dict"):
+        save_json(result.as_dict(), args.output / f"{args.experiment}.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,167 @@
+"""The Adversarial Two-tower Neural Network (ATNN) — Figure 4, Algorithm 1.
+
+ATNN extends the two-tower model with an adversarial component:
+
+* the **item encoder** ``f_i`` maps item profiles + item statistics to an
+  item vector (the "real" vectors);
+* the **generator** ``g`` maps item profiles *only* to a generated item
+  vector;
+* the **similarity loss** ``L_s = mean((1 - s)^2)`` (with ``s`` the cosine
+  similarity between the two vectors) plays the adversarial game: the
+  generator tries to make its vectors indistinguishable from the encoder's,
+  while the encoder — updated on the CTR objective ``L_i`` in the
+  alternating step — keeps the target distribution informative, acting as
+  the discriminating signal;
+* both vector families feed the same scoring head ``H`` against the user
+  tower ``f_u``, giving losses ``L_i`` (encoder path) and ``L_g``
+  (generator path);
+* the generator **shares its embedding tables** with the item encoder
+  (the paper's multi-task transfer trick).
+
+Training alternates two updates per batch (Algorithm 1):
+
+1. minimise ``L_i``;
+2. minimise ``L_g + lambda * L_s`` (the encoder's vectors are treated as
+   targets — detached — in ``L_s``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.heads import WeightedDotHead
+from repro.core.towers import Tower, TowerConfig
+from repro.data.schema import (
+    GROUP_ITEM_PROFILE,
+    GROUP_ITEM_STAT,
+    GROUP_USER,
+    FeatureSchema,
+)
+from repro.nn.layers import FeatureEmbeddings
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, no_grad
+
+__all__ = ["ATNN"]
+
+
+class ATNN(Module):
+    """Adversarial two-tower model for new-arrival CTR prediction.
+
+    Parameters
+    ----------
+    schema:
+        Dataset feature schema.
+    config:
+        Tower architecture (applied to encoder, generator and user tower —
+        the paper uses identical structures for all three).
+    share_embeddings:
+        Whether generator and item encoder share the item-profile embedding
+        tables (True in the paper; the ablation flips this off).
+    rng:
+        Generator for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        schema: FeatureSchema,
+        config: TowerConfig,
+        share_embeddings: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.schema = schema
+        self.config = config
+        self.share_embeddings = share_embeddings
+
+        # The item encoder consumes profiles + statistics.  Its categorical
+        # features are exactly the item-profile ones (statistics are
+        # numeric), so the embedding bank can be shared with the generator.
+        profile_embeddings = FeatureEmbeddings(
+            schema.vocab_sizes(GROUP_ITEM_PROFILE),
+            schema.embedding_dims(GROUP_ITEM_PROFILE),
+            rng=rng,
+        )
+        self.item_encoder = Tower(
+            schema,
+            (GROUP_ITEM_PROFILE, GROUP_ITEM_STAT),
+            config,
+            embeddings=profile_embeddings,
+            rng=rng,
+        )
+        generator_embeddings = profile_embeddings if share_embeddings else None
+        self.generator = Tower(
+            schema,
+            (GROUP_ITEM_PROFILE,),
+            config,
+            embeddings=generator_embeddings,
+            rng=rng,
+        )
+        self.user_tower = Tower(schema, (GROUP_USER,), config, rng=rng)
+        self.scoring_head = WeightedDotHead(config.vector_dim, rng=rng)
+
+    # ------------------------------------------------------------------
+    # Vector paths
+    # ------------------------------------------------------------------
+    def encoded_item_vectors(self, features: Dict[str, np.ndarray]) -> Tensor:
+        """Item vectors from the encoder (profiles + statistics)."""
+        return self.item_encoder(features)
+
+    def generated_item_vectors(self, features: Dict[str, np.ndarray]) -> Tensor:
+        """Item vectors from the generator (profiles only)."""
+        return self.generator(features)
+
+    def user_vectors(self, features: Dict[str, np.ndarray]) -> Tensor:
+        """User vectors from the user tower."""
+        return self.user_tower(features)
+
+    # ------------------------------------------------------------------
+    # Prediction paths
+    # ------------------------------------------------------------------
+    def forward(self, features: Dict[str, np.ndarray]) -> Tensor:
+        """Encoder-path click probabilities (ordinary CTR prediction)."""
+        return self.scoring_head(
+            self.encoded_item_vectors(features), self.user_vectors(features)
+        )
+
+    def forward_generator(self, features: Dict[str, np.ndarray]) -> Tensor:
+        """Generator-path click probabilities (cold-start CTR prediction)."""
+        return self.scoring_head(
+            self.generated_item_vectors(features), self.user_vectors(features)
+        )
+
+    def _predict(self, features, path: str, batch_size: int) -> np.ndarray:
+        was_training = self.training
+        self.eval()
+        try:
+            n_rows = len(next(iter(features.values())))
+            chunks = []
+            forward = self.forward if path == "encoder" else self.forward_generator
+            with no_grad():
+                for start in range(0, n_rows, batch_size):
+                    chunk = {
+                        name: col[start : start + batch_size]
+                        for name, col in features.items()
+                    }
+                    chunks.append(forward(chunk).data)
+            return np.concatenate(chunks)
+        finally:
+            self.train(was_training)
+
+    def predict_proba(
+        self, features: Dict[str, np.ndarray], batch_size: int = 4096
+    ) -> np.ndarray:
+        """Encoder-path probabilities (needs item statistics columns)."""
+        return self._predict(features, "encoder", batch_size)
+
+    def predict_proba_cold_start(
+        self, features: Dict[str, np.ndarray], batch_size: int = 4096
+    ) -> np.ndarray:
+        """Generator-path probabilities — valid for brand-new items.
+
+        Only item-profile and user features are read; statistics columns
+        may be absent or zeroed.
+        """
+        return self._predict(features, "generator", batch_size)

@@ -1,0 +1,149 @@
+"""K-means clustering (k-means++ initialisation, Lloyd iterations).
+
+Substrate for the paper's future-work direction of grouping users by
+preference before making new-arrival predictions (Section VI).  Operates
+on the user-tower vectors, so clusters are taste segments in the model's
+own geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["KMeansResult", "kmeans"]
+
+
+@dataclass
+class KMeansResult:
+    """Fitted clustering.
+
+    Attributes
+    ----------
+    centroids:
+        ``(k, dim)`` cluster centres.
+    assignments:
+        Cluster index per input row.
+    inertia:
+        Sum of squared distances to assigned centroids.
+    n_iterations:
+        Lloyd iterations executed.
+    """
+
+    centroids: np.ndarray
+    assignments: np.ndarray
+    inertia: float
+    n_iterations: int
+
+    @property
+    def k(self) -> int:
+        return self.centroids.shape[0]
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        """Assign new points to the nearest fitted centroid."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != self.centroids.shape[1]:
+            raise ValueError(
+                f"points must be (n, {self.centroids.shape[1]}), got {points.shape}"
+            )
+        distances = _pairwise_sq_distances(points, self.centroids)
+        return distances.argmin(axis=1)
+
+
+def _pairwise_sq_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between rows of ``a`` and rows of ``b``.
+
+    Clamped at zero: the expansion ``|a|^2 - 2ab + |b|^2`` can go slightly
+    negative through floating-point cancellation for coincident points.
+    """
+    distances = (
+        (a ** 2).sum(axis=1)[:, None]
+        - 2.0 * a @ b.T
+        + (b ** 2).sum(axis=1)[None, :]
+    )
+    return np.maximum(distances, 0.0)
+
+
+def _kmeans_pp_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids proportionally to D^2."""
+    n = points.shape[0]
+    centroids = np.empty((k, points.shape[1]))
+    centroids[0] = points[rng.integers(0, n)]
+    closest = _pairwise_sq_distances(points, centroids[:1]).reshape(-1)
+    for index in range(1, k):
+        total = closest.sum()
+        if total <= 0:
+            # All points coincide with chosen centroids; fill uniformly.
+            centroids[index:] = points[rng.integers(0, n, size=k - index)]
+            break
+        probabilities = closest / total
+        choice = rng.choice(n, p=probabilities)
+        centroids[index] = points[choice]
+        new_distance = _pairwise_sq_distances(
+            points, centroids[index : index + 1]
+        ).reshape(-1)
+        closest = np.minimum(closest, new_distance)
+    return centroids
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    rng: Optional[np.random.Generator] = None,
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+) -> KMeansResult:
+    """Cluster ``points`` into ``k`` groups.
+
+    Parameters
+    ----------
+    points:
+        ``(n, dim)`` float matrix.
+    k:
+        Number of clusters (``1 <= k <= n``).
+    rng:
+        Generator for seeding; a fresh default generator when omitted.
+    max_iterations:
+        Lloyd iteration budget.
+    tolerance:
+        Stop when the total centroid movement falls below this value.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {points.shape}")
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    if max_iterations < 1:
+        raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    centroids = _kmeans_pp_init(points, k, rng)
+    assignments = np.zeros(n, dtype=np.int64)
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        distances = _pairwise_sq_distances(points, centroids)
+        assignments = distances.argmin(axis=1)
+        new_centroids = centroids.copy()
+        for cluster in range(k):
+            members = points[assignments == cluster]
+            if members.size:
+                new_centroids[cluster] = members.mean(axis=0)
+        movement = float(np.abs(new_centroids - centroids).sum())
+        centroids = new_centroids
+        if movement < tolerance:
+            break
+
+    distances = _pairwise_sq_distances(points, centroids)
+    assignments = distances.argmin(axis=1)
+    inertia = float(distances[np.arange(n), assignments].sum())
+    return KMeansResult(
+        centroids=centroids,
+        assignments=assignments,
+        inertia=max(inertia, 0.0),
+        n_iterations=iteration,
+    )

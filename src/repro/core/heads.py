@@ -1,0 +1,125 @@
+"""Scoring heads combining an item vector and a user vector.
+
+The paper's ``H(f_i(X_i), f_u(X_u))`` produces a CTR score from the two
+tower outputs.  Two head families are provided:
+
+* :class:`WeightedDotHead` — a learned elementwise-weighted inner product
+  followed by a sigmoid.  Crucially it is **linear in the user vector**,
+  which is the property the O(1) popularity trick relies on: the mean score
+  over a user group is (up to the final sigmoid) the score of the *mean
+  user vector*.
+* :class:`ConcatMLPHead` — an MLP over ``[u, v, u*v]``; strictly more
+  expressive but not mean-vector-exact.  Used by the multi-task regression
+  heads where user groups are already aggregated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.layers import MLP
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, concat
+
+__all__ = ["WeightedDotHead", "ConcatMLPHead"]
+
+
+class WeightedDotHead(Module):
+    """CTR head: ``sigma(sum_d w_d * u_d * v_d + b)``.
+
+    Parameters
+    ----------
+    vector_dim:
+        Dimension of the tower vectors.
+    rng:
+        Generator for weight initialisation (weights start at 1/sqrt(dim)).
+    """
+
+    def __init__(self, vector_dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if vector_dim <= 0:
+            raise ValueError(f"vector_dim must be positive, got {vector_dim}")
+        self.vector_dim = vector_dim
+        scale = 1.0 / np.sqrt(vector_dim)
+        self.weight = Parameter(np.full((vector_dim,), scale), name="dot_weight")
+        self.bias = Parameter(init.zeros((1,)), name="dot_bias")
+
+    def logits(self, item_vectors: Tensor, user_vectors: Tensor) -> Tensor:
+        """Raw pre-sigmoid scores, shape ``(batch,)``."""
+        if item_vectors.shape != user_vectors.shape:
+            raise ValueError(
+                f"item and user vectors must match, got "
+                f"{item_vectors.shape} vs {user_vectors.shape}"
+            )
+        interaction = item_vectors * user_vectors * self.weight
+        return interaction.sum(axis=-1) + self.bias
+
+    def forward(self, item_vectors: Tensor, user_vectors: Tensor) -> Tensor:
+        """Click probabilities, shape ``(batch,)``."""
+        return self.logits(item_vectors, user_vectors).sigmoid()
+
+
+class ConcatMLPHead(Module):
+    """Regression/score head: MLP over ``[u, v, u*v]``.
+
+    Parameters
+    ----------
+    vector_dim:
+        Dimension of the tower vectors.
+    hidden_dims:
+        MLP widths; a final scalar layer is appended.
+    output_activation:
+        ``"identity"`` for unconstrained regression (GMV/VpPV heads) or
+        ``"sigmoid"`` for probabilities.
+    rng:
+        Generator for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        vector_dim: int,
+        hidden_dims: Sequence[int] = (32,),
+        output_activation: str = "identity",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if vector_dim <= 0:
+            raise ValueError(f"vector_dim must be positive, got {vector_dim}")
+        self.vector_dim = vector_dim
+        self.mlp = MLP(
+            3 * vector_dim,
+            list(hidden_dims) + [1],
+            output_activation=output_activation,
+            rng=rng,
+        )
+
+    def set_output_bias(self, value: float) -> None:
+        """Initialise the final layer's bias (e.g. to the label mean).
+
+        Regression targets far from zero (GMV in the paper's food-delivery
+        task) otherwise waste early epochs climbing from the origin.
+        """
+        from repro.nn.layers import Linear
+
+        final = None
+        for layer in self.mlp.layers:
+            if isinstance(layer, Linear):
+                final = layer
+        if final is None or final.bias is None:
+            raise RuntimeError("head has no final linear bias to initialise")
+        final.bias.data[...] = float(value)
+
+    def forward(self, item_vectors: Tensor, user_vectors: Tensor) -> Tensor:
+        """Scalar outputs, shape ``(batch,)``."""
+        if item_vectors.shape != user_vectors.shape:
+            raise ValueError(
+                f"item and user vectors must match, got "
+                f"{item_vectors.shape} vs {user_vectors.shape}"
+            )
+        joined = concat(
+            [user_vectors, item_vectors, user_vectors * item_vectors], axis=-1
+        )
+        return self.mlp(joined).reshape(-1)

@@ -1,0 +1,164 @@
+"""Extended multi-task ATNN for the food-delivery scenario (Figure 6, Alg. 2).
+
+Differences from the e-commerce ATNN:
+
+* the user tower consumes **user-group** features (per-zone aggregates)
+  instead of single users — food delivery is location sensitive;
+* there are two regression heads per path, predicting VpPV and GMV, with
+  the combined losses weighted by ``lambda_1``;
+* the similarity loss weighted by ``lambda_2`` still ties the generator's
+  restaurant vectors to the statistics-aware encoder's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.heads import ConcatMLPHead
+from repro.core.towers import Tower, TowerConfig
+from repro.data.schema import (
+    GROUP_ITEM_PROFILE,
+    GROUP_ITEM_STAT,
+    GROUP_USER,
+    FeatureSchema,
+)
+from repro.nn.layers import FeatureEmbeddings
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, no_grad
+
+__all__ = ["MultiTaskATNN"]
+
+
+class MultiTaskATNN(Module):
+    """Two-target (VpPV, GMV) adversarial two-tower model.
+
+    Parameters
+    ----------
+    schema:
+        Feature schema of the food-delivery dataset (``user`` group columns
+        describe user groups).
+    config:
+        Tower architecture shared by encoder / generator / group tower.
+    share_embeddings:
+        Share profile embedding tables between generator and encoder.
+    rng:
+        Generator for weight initialisation.
+    """
+
+    TASKS: Tuple[str, str] = ("vppv", "gmv")
+
+    def __init__(
+        self,
+        schema: FeatureSchema,
+        config: TowerConfig,
+        share_embeddings: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.schema = schema
+        self.config = config
+        self.share_embeddings = share_embeddings
+
+        profile_embeddings = FeatureEmbeddings(
+            schema.vocab_sizes(GROUP_ITEM_PROFILE),
+            schema.embedding_dims(GROUP_ITEM_PROFILE),
+            rng=rng,
+        )
+        self.item_encoder = Tower(
+            schema,
+            (GROUP_ITEM_PROFILE, GROUP_ITEM_STAT),
+            config,
+            embeddings=profile_embeddings,
+            rng=rng,
+        )
+        self.generator = Tower(
+            schema,
+            (GROUP_ITEM_PROFILE,),
+            config,
+            embeddings=profile_embeddings if share_embeddings else None,
+            rng=rng,
+        )
+        self.group_tower = Tower(schema, (GROUP_USER,), config, rng=rng)
+        # One regression head per task, shared between encoder and
+        # generator paths (the multi-task "sharing networks" of Section V).
+        self.vppv_head = ConcatMLPHead(config.vector_dim, rng=rng)
+        self.gmv_head = ConcatMLPHead(config.vector_dim, rng=rng)
+
+    # ------------------------------------------------------------------
+    def encoded_item_vectors(self, features: Dict[str, np.ndarray]) -> Tensor:
+        """Restaurant vectors from profiles + statistics."""
+        return self.item_encoder(features)
+
+    def generated_item_vectors(self, features: Dict[str, np.ndarray]) -> Tensor:
+        """Restaurant vectors from profiles only."""
+        return self.generator(features)
+
+    def group_vectors(self, features: Dict[str, np.ndarray]) -> Tensor:
+        """User-group vectors."""
+        return self.group_tower(features)
+
+    def _head(self, task: str) -> ConcatMLPHead:
+        if task == "vppv":
+            return self.vppv_head
+        if task == "gmv":
+            return self.gmv_head
+        raise ValueError(f"unknown task {task!r}; expected one of {self.TASKS}")
+
+    # ------------------------------------------------------------------
+    def forward(
+        self, features: Dict[str, np.ndarray], task: str = "gmv"
+    ) -> Tensor:
+        """Encoder-path prediction for one task."""
+        return self._head(task)(
+            self.encoded_item_vectors(features), self.group_vectors(features)
+        )
+
+    def forward_generator(
+        self, features: Dict[str, np.ndarray], task: str = "gmv"
+    ) -> Tensor:
+        """Generator-path prediction for one task (cold-start)."""
+        return self._head(task)(
+            self.generated_item_vectors(features), self.group_vectors(features)
+        )
+
+    def predict(
+        self,
+        features: Dict[str, np.ndarray],
+        task: str,
+        cold_start: bool = False,
+        batch_size: int = 4096,
+    ) -> np.ndarray:
+        """Inference-mode predictions for one task.
+
+        Parameters
+        ----------
+        features:
+            Feature columns for (restaurant, user group) rows.
+        task:
+            ``"vppv"`` or ``"gmv"``.
+        cold_start:
+            Use the generator path (profiles only) instead of the encoder.
+        batch_size:
+            Inference chunk size.
+        """
+        was_training = self.training
+        self.eval()
+        try:
+            n_rows = len(next(iter(features.values())))
+            chunks = []
+            with no_grad():
+                for start in range(0, n_rows, batch_size):
+                    chunk = {
+                        name: col[start : start + batch_size]
+                        for name, col in features.items()
+                    }
+                    if cold_start:
+                        chunks.append(self.forward_generator(chunk, task).data)
+                    else:
+                        chunks.append(self.forward(chunk, task).data)
+            return np.concatenate(chunks)
+        finally:
+            self.train(was_training)

@@ -1,0 +1,102 @@
+"""Model registry: build any model in the repo from a name + config.
+
+Gives downstream tooling (CLI extensions, sweep scripts) a single entry
+point::
+
+    model = build_model("atnn", schema, TowerConfig(...), rng=rng)
+
+Registered names: ``atnn``, ``tnn-dcn``, ``tnn-fc``, ``multitask-atnn``,
+``standard-dnn``, ``lr``, ``fm``, ``wide-deep``, ``deepfm``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines import (
+    DeepFM,
+    FactorizationMachine,
+    LogisticRegressionCTR,
+    WideAndDeep,
+)
+from repro.core.atnn import ATNN
+from repro.core.multitask import MultiTaskATNN
+from repro.core.standard_dnn import StandardDNN
+from repro.core.towers import TowerConfig
+from repro.core.two_tower import TwoTowerModel
+from repro.data.schema import FeatureSchema
+
+__all__ = ["MODEL_REGISTRY", "available_models", "build_model"]
+
+
+def _tnn(schema, config, rng, num_cross_layers):
+    tower = TowerConfig(
+        vector_dim=config.vector_dim,
+        deep_dims=config.deep_dims,
+        head_dims=config.head_dims,
+        num_cross_layers=num_cross_layers,
+        dropout=config.dropout,
+    )
+    return TwoTowerModel(schema, tower, rng=rng)
+
+
+MODEL_REGISTRY: Dict[str, Callable] = {
+    "atnn": lambda schema, config, rng: ATNN(schema, config, rng=rng),
+    "multitask-atnn": lambda schema, config, rng: MultiTaskATNN(
+        schema, config, rng=rng
+    ),
+    "tnn-dcn": lambda schema, config, rng: _tnn(
+        schema, config, rng, max(config.num_cross_layers, 1)
+    ),
+    "tnn-fc": lambda schema, config, rng: _tnn(schema, config, rng, 0),
+    "standard-dnn": lambda schema, config, rng: StandardDNN(
+        schema, hidden_dims=config.deep_dims, rng=rng
+    ),
+    "lr": lambda schema, config, rng: LogisticRegressionCTR(schema, rng=rng),
+    "fm": lambda schema, config, rng: FactorizationMachine(schema, rng=rng),
+    "wide-deep": lambda schema, config, rng: WideAndDeep(schema, rng=rng),
+    "deepfm": lambda schema, config, rng: DeepFM(schema, rng=rng),
+}
+
+
+def available_models() -> List[str]:
+    """Registered model names."""
+    return sorted(MODEL_REGISTRY)
+
+
+def build_model(
+    name: str,
+    schema: FeatureSchema,
+    config: Optional[TowerConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+):
+    """Instantiate a registered model.
+
+    Parameters
+    ----------
+    name:
+        Registry key (case-insensitive).
+    schema:
+        Dataset feature schema.
+    config:
+        Tower configuration (ignored by the flat baselines); defaults to
+        :class:`TowerConfig`'s defaults.
+    rng:
+        Generator for initialisation.
+
+    Raises
+    ------
+    ValueError
+        On an unknown model name.
+    """
+    try:
+        factory = MODEL_REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; choose from {available_models()}"
+        ) from None
+    config = config if config is not None else TowerConfig()
+    rng = rng if rng is not None else np.random.default_rng()
+    return factory(schema, config, rng)

@@ -1,0 +1,127 @@
+"""Segmented popularity prediction — the paper's future-work extension.
+
+Section VI: *"We can further group users by their preferences before
+making new arrivals predictions.  Different groups have diverse
+preferences for different types of items."*
+
+:class:`SegmentedPopularityPredictor` clusters the user group's tower
+vectors into taste segments (k-means over the model's own geometry),
+stores one mean vector per segment, and scores each item against every
+segment.  Aggregations:
+
+* ``score_items(..., "mean")`` — segment-size-weighted mean, a sharper
+  estimate of overall popularity than the single global mean vector;
+* ``score_items(..., "max")`` — best-segment score, surfacing niche items
+  that excite one taste cluster without broad appeal;
+* ``segment_scores`` — the full (items x segments) matrix for per-segment
+  merchandising.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.atnn import ATNN
+from repro.core.clustering import KMeansResult, kmeans
+from repro.core.popularity import PopularityPredictor
+from repro.data.dataset import FeatureTable
+from repro.data.synthetic.common import sigmoid
+
+__all__ = ["SegmentedPopularityPredictor"]
+
+_AGGREGATIONS = ("mean", "max")
+
+
+class SegmentedPopularityPredictor(PopularityPredictor):
+    """Popularity scoring against per-segment mean user vectors.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`~repro.core.atnn.ATNN` (or two-tower model).
+    n_segments:
+        Number of taste segments.
+    batch_size:
+        Tower inference chunk size.
+    """
+
+    def __init__(self, model, n_segments: int = 4, batch_size: int = 4096) -> None:
+        super().__init__(model, batch_size=batch_size)
+        if n_segments < 1:
+            raise ValueError(f"n_segments must be >= 1, got {n_segments}")
+        self.n_segments = n_segments
+        self.segment_vectors: Optional[np.ndarray] = None
+        self.segment_weights: Optional[np.ndarray] = None
+        self.clustering: Optional[KMeansResult] = None
+
+    # ------------------------------------------------------------------
+    def fit_user_group(
+        self,
+        users: FeatureTable,
+        keep_individual: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Encode the user group, cluster it, and store segment vectors.
+
+        Also stores the global mean vector so the base-class O(1) path
+        keeps working for comparison.
+        """
+        vectors = self._encode_users(users)
+        self.mean_user_vector = vectors.mean(axis=0)
+        self._user_vectors = vectors if keep_individual else None
+
+        rng = rng if rng is not None else np.random.default_rng(0)
+        k = min(self.n_segments, vectors.shape[0])
+        self.clustering = kmeans(vectors, k, rng=rng)
+        counts = np.bincount(self.clustering.assignments, minlength=k)
+        self.segment_vectors = self.clustering.centroids
+        self.segment_weights = counts / counts.sum()
+        return self.mean_user_vector
+
+    # ------------------------------------------------------------------
+    def segment_scores(self, items: FeatureTable) -> np.ndarray:
+        """Full ``(n_items, n_segments)`` score matrix.
+
+        Raises
+        ------
+        RuntimeError
+            If :meth:`fit_user_group` has not been called.
+        """
+        if self.segment_vectors is None:
+            raise RuntimeError("call fit_user_group() before scoring items")
+        item_vectors = self._encode_items(items)
+        head = self.model.scoring_head
+        logits = (item_vectors * head.weight.data) @ self.segment_vectors.T
+        return sigmoid(logits + head.bias.data[0])
+
+    def score_items(
+        self, items: FeatureTable, aggregation: str = "mean"
+    ) -> np.ndarray:
+        """Aggregate per-segment scores into one popularity per item.
+
+        The cost per item is O(n_segments) — still independent of the
+        user count, preserving the serving-time guarantee.
+        """
+        if aggregation not in _AGGREGATIONS:
+            raise ValueError(
+                f"aggregation must be one of {_AGGREGATIONS}, got {aggregation!r}"
+            )
+        matrix = self.segment_scores(items)
+        if aggregation == "max":
+            return matrix.max(axis=1)
+        return matrix @ self.segment_weights
+
+    def niche_items(self, items: FeatureTable, top_k: int = 10) -> np.ndarray:
+        """Items with the largest best-segment vs average-segment gap.
+
+        These are the "diverse preference" winners the future-work section
+        is after: weak on the global mean, strong for one taste cluster.
+        """
+        matrix = self.segment_scores(items)
+        if not 1 <= top_k <= matrix.shape[0]:
+            raise ValueError(f"top_k must be in [1, {matrix.shape[0]}], got {top_k}")
+        gap = matrix.max(axis=1) - matrix @ self.segment_weights
+        top = np.argpartition(gap, -top_k)[-top_k:]
+        return top[np.argsort(gap[top])[::-1]]

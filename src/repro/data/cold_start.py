@@ -1,0 +1,43 @@
+"""Cold-start feature handling.
+
+For a brand-new item the statistics store has no rows, so the serving-time
+feature join produces empty statistic columns.  :func:`zero_statistics`
+reproduces that condition on an arbitrary feature dict: every ``item_stat``
+column is replaced with zeros (the mean, since statistic columns are
+standardised at generation time), leaving profiles and user features
+untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.data.schema import GROUP_ITEM_STAT, FeatureSchema
+
+__all__ = ["zero_statistics"]
+
+
+def zero_statistics(
+    schema: FeatureSchema, features: Dict[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """Return a copy of ``features`` with statistic columns zeroed.
+
+    Parameters
+    ----------
+    schema:
+        The feature schema identifying the ``item_stat`` group.
+    features:
+        Feature columns (shared, not copied, for untouched columns).
+    """
+    stat_names = set(schema.numeric_names(GROUP_ITEM_STAT)) | {
+        f.name for f in schema.categorical_in(GROUP_ITEM_STAT)
+    }
+    result: Dict[str, np.ndarray] = {}
+    for name, column in features.items():
+        if name in stat_names:
+            result[name] = np.zeros_like(column)
+        else:
+            result[name] = column
+    return result

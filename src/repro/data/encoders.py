@@ -1,0 +1,122 @@
+"""Feature encoders: vocabulary mapping, hashing and standardisation.
+
+These mirror the pre-processing the paper describes ("categorical features
+are mapped to fixed-length vectors according to their numbers of
+categories"): raw values become contiguous integer ids for the embedding
+tables, and numeric columns are standardised.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional
+
+import numpy as np
+
+__all__ = ["VocabEncoder", "HashEncoder", "StandardScaler"]
+
+
+class VocabEncoder:
+    """Maps arbitrary hashable values to contiguous integer ids.
+
+    Id 0 is reserved for unseen values (out-of-vocabulary), which is how new
+    arrivals with never-seen brands/sellers still get a valid embedding row.
+    """
+
+    OOV_ID = 0
+
+    def __init__(self) -> None:
+        self._mapping: Dict[Hashable, int] = {}
+
+    def fit(self, values: Iterable[Hashable]) -> "VocabEncoder":
+        """Assign ids to distinct values in first-seen order."""
+        for value in values:
+            if value not in self._mapping:
+                self._mapping[value] = len(self._mapping) + 1
+        return self
+
+    def transform(self, values: Iterable[Hashable]) -> np.ndarray:
+        """Map values to ids; unseen values map to :data:`OOV_ID`."""
+        return np.array(
+            [self._mapping.get(value, self.OOV_ID) for value in values],
+            dtype=np.int64,
+        )
+
+    def fit_transform(self, values: List[Hashable]) -> np.ndarray:
+        """Fit then transform in one pass."""
+        return self.fit(values).transform(values)
+
+    @property
+    def vocab_size(self) -> int:
+        """Number of ids including the OOV slot."""
+        return len(self._mapping) + 1
+
+    def inverse(self, ids: np.ndarray) -> List[Optional[Hashable]]:
+        """Map ids back to values; OOV becomes ``None``."""
+        reverse = {v: k for k, v in self._mapping.items()}
+        return [reverse.get(int(i)) for i in np.asarray(ids)]
+
+
+class HashEncoder:
+    """Stateless feature hashing into a fixed number of buckets.
+
+    Used for very-high-cardinality ids (the Tmall item space has tens of
+    millions of items; hashing is the standard industrial trick).
+    """
+
+    def __init__(self, num_buckets: int, salt: int = 0) -> None:
+        if num_buckets <= 0:
+            raise ValueError(f"num_buckets must be positive, got {num_buckets}")
+        self.num_buckets = num_buckets
+        self.salt = salt
+
+    def transform(self, values: Iterable[Hashable]) -> np.ndarray:
+        """Hash each value into ``[0, num_buckets)`` deterministically."""
+        out = np.empty(0, dtype=np.int64)
+        hashed = [
+            (hash((self.salt, value)) & 0x7FFFFFFFFFFFFFFF) % self.num_buckets
+            for value in values
+        ]
+        out = np.array(hashed, dtype=np.int64)
+        return out
+
+
+class StandardScaler:
+    """Column-wise standardisation to zero mean / unit variance.
+
+    Constant columns are left centred but unscaled (variance floor), and the
+    scaler refuses to transform before fitting.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        """Estimate per-column statistics."""
+        X = self._check(X)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.std_ = np.where(std < 1e-12, 1.0, std)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Standardise with the fitted statistics."""
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler must be fitted before transform")
+        X = self._check(X)
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"expected {self.mean_.shape[0]} columns, got {X.shape[1]}"
+            )
+        return (X - self.mean_) / self.std_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit then transform in one pass."""
+        return self.fit(X).transform(X)
+
+    @staticmethod
+    def _check(X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        return X

@@ -1,0 +1,82 @@
+"""Dataset persistence: save/load feature tables and interaction datasets.
+
+Lets users materialise a synthetic world once and reuse it across runs
+(or hand-inspect it).  Tables are stored as ``.npz`` archives; an
+:class:`~repro.data.dataset.InteractionDataset` additionally stores its
+label columns under a ``label::`` prefix and reconstructs against a schema
+supplied at load time (schemas are code, not data).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.data.dataset import FeatureTable, InteractionDataset
+from repro.data.schema import FeatureSchema
+
+__all__ = [
+    "save_feature_table",
+    "load_feature_table",
+    "save_interactions",
+    "load_interactions",
+]
+
+PathLike = Union[str, Path]
+_LABEL_PREFIX = "label::"
+
+
+def save_feature_table(table: FeatureTable, path: PathLike) -> None:
+    """Persist a feature table to a ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **table.columns)
+
+
+def load_feature_table(path: PathLike) -> FeatureTable:
+    """Load a table saved by :func:`save_feature_table`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no feature table at {path}")
+    with np.load(path) as archive:
+        columns = {name: archive[name] for name in archive.files}
+    return FeatureTable(columns)
+
+
+def save_interactions(dataset: InteractionDataset, path: PathLike) -> None:
+    """Persist an interaction dataset (features + labels) to ``.npz``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(dataset.features)
+    for name, values in dataset.labels.items():
+        key = f"{_LABEL_PREFIX}{name}"
+        if key in payload:
+            raise ValueError(f"feature column {key!r} collides with label prefix")
+        payload[key] = values
+    np.savez(path, **payload)
+
+
+def load_interactions(path: PathLike, schema: FeatureSchema) -> InteractionDataset:
+    """Load a dataset saved by :func:`save_interactions`.
+
+    Parameters
+    ----------
+    path:
+        Archive path.
+    schema:
+        The schema the dataset was built against (validated on load).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no interaction dataset at {path}")
+    features = {}
+    labels = {}
+    with np.load(path) as archive:
+        for name in archive.files:
+            if name.startswith(_LABEL_PREFIX):
+                labels[name[len(_LABEL_PREFIX):]] = archive[name]
+            else:
+                features[name] = archive[name]
+    return InteractionDataset(schema, features, labels)

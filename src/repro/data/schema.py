@@ -1,0 +1,226 @@
+"""Feature schema describing the inputs of the ATNN towers.
+
+The paper partitions raw features into three groups:
+
+* ``user``         — user profiles (19 raw features on Tmall),
+* ``item_profile`` — item profiles, available for new arrivals (38 raw),
+* ``item_stat``    — item statistics, *missing* for new arrivals (46 raw).
+
+A :class:`FeatureSchema` records, for each feature, its group, whether it is
+categorical (with vocabulary size and embedding dimension) or numeric, and
+exposes per-group views used to wire up the towers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "GROUP_USER",
+    "GROUP_ITEM_PROFILE",
+    "GROUP_ITEM_STAT",
+    "CategoricalFeature",
+    "NumericFeature",
+    "SequenceFeature",
+    "FeatureSchema",
+]
+
+GROUP_USER = "user"
+GROUP_ITEM_PROFILE = "item_profile"
+GROUP_ITEM_STAT = "item_stat"
+
+_VALID_GROUPS = (GROUP_USER, GROUP_ITEM_PROFILE, GROUP_ITEM_STAT)
+
+
+@dataclass(frozen=True)
+class CategoricalFeature:
+    """A categorical feature embedded into a dense vector.
+
+    Attributes
+    ----------
+    name:
+        Unique feature name.
+    vocab_size:
+        Number of distinct ids (indices must lie in ``[0, vocab_size)``).
+    embedding_dim:
+        Width of the learned embedding (the paper uses 16 for user id,
+        8 for occupation, 6 for item category, ...).
+    group:
+        One of ``user``, ``item_profile``, ``item_stat``.
+    """
+
+    name: str
+    vocab_size: int
+    embedding_dim: int
+    group: str
+
+    def __post_init__(self) -> None:
+        if self.vocab_size <= 0:
+            raise ValueError(f"{self.name}: vocab_size must be positive")
+        if self.embedding_dim <= 0:
+            raise ValueError(f"{self.name}: embedding_dim must be positive")
+        if self.group not in _VALID_GROUPS:
+            raise ValueError(
+                f"{self.name}: group must be one of {_VALID_GROUPS}, got {self.group!r}"
+            )
+
+
+@dataclass(frozen=True)
+class NumericFeature:
+    """A real-valued feature fed to the towers after standardisation."""
+
+    name: str
+    group: str
+
+    def __post_init__(self) -> None:
+        if self.group not in _VALID_GROUPS:
+            raise ValueError(
+                f"{self.name}: group must be one of {_VALID_GROUPS}, got {self.group!r}"
+            )
+
+
+@dataclass(frozen=True)
+class SequenceFeature:
+    """A multi-valued categorical feature (mean-pooled embedding bag).
+
+    Models list-shaped profile attributes — e.g. a user's preferred
+    categories, part of the paper's "purchase preference" profile family.
+    Data convention: the column ``name`` holds a padded integer matrix of
+    shape ``(rows, max_len)`` and the companion column
+    ``{name}__mask`` holds the validity mask of the same shape.
+
+    Attributes
+    ----------
+    name:
+        Feature name.
+    vocab_size:
+        Number of distinct ids.
+    embedding_dim:
+        Width of the pooled embedding.
+    max_len:
+        Padded list length.
+    group:
+        One of ``user``, ``item_profile``, ``item_stat``.
+    """
+
+    name: str
+    vocab_size: int
+    embedding_dim: int
+    max_len: int
+    group: str
+
+    def __post_init__(self) -> None:
+        if self.vocab_size <= 0:
+            raise ValueError(f"{self.name}: vocab_size must be positive")
+        if self.embedding_dim <= 0:
+            raise ValueError(f"{self.name}: embedding_dim must be positive")
+        if self.max_len <= 0:
+            raise ValueError(f"{self.name}: max_len must be positive")
+        if self.group not in _VALID_GROUPS:
+            raise ValueError(
+                f"{self.name}: group must be one of {_VALID_GROUPS}, got {self.group!r}"
+            )
+
+    @property
+    def mask_name(self) -> str:
+        """Name of the companion validity-mask column."""
+        return f"{self.name}__mask"
+
+
+class FeatureSchema:
+    """An ordered collection of categorical and numeric features.
+
+    Feature order is preserved; the towers concatenate inputs in schema
+    order so that saved models remain loadable.
+    """
+
+    def __init__(
+        self,
+        categorical: List[CategoricalFeature],
+        numeric: List[NumericFeature],
+        sequence: Optional[List["SequenceFeature"]] = None,
+    ) -> None:
+        sequence = list(sequence) if sequence is not None else []
+        names = (
+            [f.name for f in categorical]
+            + [f.name for f in numeric]
+            + [f.name for f in sequence]
+        )
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise ValueError(f"duplicate feature names: {duplicates}")
+        self.categorical = list(categorical)
+        self.numeric = list(numeric)
+        self.sequence = sequence
+
+    # ------------------------------------------------------------------
+    # Group views
+    # ------------------------------------------------------------------
+    def categorical_in(self, *groups: str) -> List[CategoricalFeature]:
+        """Categorical features belonging to any of ``groups``, in order."""
+        self._check_groups(groups)
+        return [f for f in self.categorical if f.group in groups]
+
+    def numeric_in(self, *groups: str) -> List[NumericFeature]:
+        """Numeric features belonging to any of ``groups``, in order."""
+        self._check_groups(groups)
+        return [f for f in self.numeric if f.group in groups]
+
+    def vocab_sizes(self, *groups: str) -> Dict[str, int]:
+        """Mapping name → vocab size for categorical features in ``groups``."""
+        return {f.name: f.vocab_size for f in self.categorical_in(*groups)}
+
+    def embedding_dims(self, *groups: str) -> Dict[str, int]:
+        """Mapping name → embedding dim for categorical features in ``groups``."""
+        return {f.name: f.embedding_dim for f in self.categorical_in(*groups)}
+
+    def numeric_names(self, *groups: str) -> List[str]:
+        """Names of numeric features in ``groups``, in order."""
+        return [f.name for f in self.numeric_in(*groups)]
+
+    def sequence_in(self, *groups: str) -> List["SequenceFeature"]:
+        """Sequence features belonging to any of ``groups``, in order."""
+        self._check_groups(groups)
+        return [f for f in self.sequence if f.group in groups]
+
+    def input_width(self, *groups: str) -> int:
+        """Width of the concatenated tower input.
+
+        Embedded categoricals + numerics + one pooled embedding per
+        sequence feature.
+        """
+        emb = sum(f.embedding_dim for f in self.categorical_in(*groups))
+        seq = sum(f.embedding_dim for f in self.sequence_in(*groups))
+        return emb + seq + len(self.numeric_in(*groups))
+
+    def feature_names(self, *groups: str) -> List[str]:
+        """Names of *flat* features in ``groups`` (categoricals first).
+
+        Sequence features are excluded: their columns are 2-D and do not
+        fit flat-matrix consumers (GBDT, the flat CTR baselines).  Use
+        :meth:`sequence_in` / :meth:`all_column_names` for them.
+        """
+        return [f.name for f in self.categorical_in(*groups)] + self.numeric_names(
+            *groups
+        )
+
+    def all_column_names(self, *groups: str) -> List[str]:
+        """Every data column in ``groups`` including sequence + mask pairs."""
+        names = self.feature_names(*groups)
+        for feature in self.sequence_in(*groups):
+            names.append(feature.name)
+            names.append(feature.mask_name)
+        return names
+
+    @staticmethod
+    def _check_groups(groups: Tuple[str, ...]) -> None:
+        unknown = [g for g in groups if g not in _VALID_GROUPS]
+        if unknown:
+            raise ValueError(f"unknown feature groups: {unknown}")
+
+    def __repr__(self) -> str:
+        return (
+            f"FeatureSchema(categorical={len(self.categorical)}, "
+            f"numeric={len(self.numeric)}, sequence={len(self.sequence)})"
+        )

@@ -1,0 +1,47 @@
+"""Train/test splitting utilities."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+
+__all__ = ["train_test_split", "split_indices"]
+
+
+def split_indices(
+    n: int,
+    test_fraction: float,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return shuffled (train_idx, test_idx) index arrays.
+
+    Parameters
+    ----------
+    n:
+        Number of rows.
+    test_fraction:
+        Fraction assigned to the test split (the paper uses 0.2).
+    rng:
+        Generator controlling the shuffle.
+    """
+    if n <= 1:
+        raise ValueError(f"need at least 2 rows to split, got {n}")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    order = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    n_test = min(n_test, n - 1)
+    return order[n_test:], order[:n_test]
+
+
+def train_test_split(
+    dataset: InteractionDataset,
+    test_fraction: float,
+    rng: np.random.Generator,
+) -> Tuple[InteractionDataset, InteractionDataset]:
+    """Split a dataset into train/test by row (80/20 in the paper)."""
+    train_idx, test_idx = split_indices(len(dataset), test_fraction, rng)
+    return dataset.subset(train_idx), dataset.subset(test_idx)

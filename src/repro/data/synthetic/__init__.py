@@ -1,0 +1,25 @@
+"""Synthetic data worlds substituting the paper's proprietary datasets."""
+
+from repro.data.synthetic.behavior import BehaviorConfig, BehaviorPanel, simulate_behavior
+from repro.data.synthetic.common import noisy, sigmoid, standardize
+from repro.data.synthetic.eleme import ElemeConfig, ElemeWorld, generate_eleme_world
+from repro.data.synthetic.movies import MovieConfig, MovieWorld, generate_movie_world
+from repro.data.synthetic.tmall import TmallConfig, TmallWorld, generate_tmall_world
+
+__all__ = [
+    "BehaviorConfig",
+    "BehaviorPanel",
+    "simulate_behavior",
+    "noisy",
+    "sigmoid",
+    "standardize",
+    "ElemeConfig",
+    "ElemeWorld",
+    "generate_eleme_world",
+    "MovieConfig",
+    "MovieWorld",
+    "generate_movie_world",
+    "TmallConfig",
+    "TmallWorld",
+    "generate_tmall_world",
+]

@@ -1,0 +1,61 @@
+"""Shared helpers for the synthetic data worlds."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sigmoid", "standardize", "noisy", "segment_latents"]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def standardize(values: np.ndarray) -> np.ndarray:
+    """Zero-mean / unit-variance scaling with a variance floor."""
+    values = np.asarray(values, dtype=np.float64)
+    std = values.std()
+    if std < 1e-12:
+        return values - values.mean()
+    return (values - values.mean()) / std
+
+
+def noisy(values: np.ndarray, noise_std: float, rng: np.random.Generator) -> np.ndarray:
+    """Add Gaussian observation noise."""
+    if noise_std < 0:
+        raise ValueError(f"noise_std must be >= 0, got {noise_std}")
+    if noise_std == 0:
+        return np.array(values, copy=True)
+    return values + rng.normal(0.0, noise_std, size=np.shape(values))
+
+
+def segment_latents(
+    n_entities: int,
+    n_segments: int,
+    latent_dim: int,
+    rng: np.random.Generator,
+    segment_spread: float = 1.0,
+    within_spread: float = 0.5,
+) -> tuple:
+    """Draw entity latent vectors clustered around segment centroids.
+
+    Returns ``(segments, latents)`` where ``segments`` is the integer
+    segment id per entity and ``latents`` the ``(n_entities, latent_dim)``
+    vectors.  Used for user populations (taste clusters) and restaurant
+    themes.
+    """
+    if n_segments <= 0 or n_entities <= 0 or latent_dim <= 0:
+        raise ValueError("entity/segment/latent sizes must be positive")
+    centroids = rng.normal(0.0, segment_spread, size=(n_segments, latent_dim))
+    segments = rng.integers(0, n_segments, size=n_entities)
+    latents = centroids[segments] + rng.normal(
+        0.0, within_spread, size=(n_entities, latent_dim)
+    )
+    return segments, latents

@@ -1,0 +1,181 @@
+"""Ablation studies over ATNN's design choices.
+
+DESIGN.md calls out four design decisions; each gets an ablation:
+
+* ``lambda`` — the similarity-loss weight (0 disables the adversarial
+  distillation entirely; the paper uses 0.1);
+* shared vs separate profile embeddings between generator and encoder;
+* cross-network depth (0 = plain deep towers);
+* mean-user-vector vs exact pairwise popularity ranking (agreement), also
+  covered by the complexity experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import ATNN, ATNNTrainer, TowerConfig
+from repro.data import train_test_split
+from repro.data.synthetic import TmallWorld, generate_tmall_world
+from repro.experiments.configs import ExperimentPreset, get_preset
+from repro.metrics import roc_auc
+from repro.utils.rng import derive_seed
+from repro.utils.tabulate import format_table
+
+__all__ = [
+    "AblationRow",
+    "AblationResult",
+    "run_lambda_ablation",
+    "run_embedding_sharing_ablation",
+    "run_cross_depth_ablation",
+]
+
+
+@dataclass
+class AblationRow:
+    """One ablation setting's cold-start and complete-feature AUCs."""
+
+    setting: str
+    auc_generator: float
+    auc_encoder: float
+
+
+@dataclass
+class AblationResult:
+    """Rows of one ablation sweep."""
+
+    name: str
+    rows: List[AblationRow]
+    preset: str
+
+    def as_dict(self):
+        """JSON-friendly summary."""
+        return {
+            "name": self.name,
+            "rows": [
+                {
+                    "setting": row.setting,
+                    "auc_generator": row.auc_generator,
+                    "auc_encoder": row.auc_encoder,
+                }
+                for row in self.rows
+            ],
+        }
+
+    def render(self) -> str:
+        """ASCII report."""
+        return format_table(
+            ["Setting", "Cold-start AUC (generator)", "Complete AUC (encoder)"],
+            [[row.setting, row.auc_generator, row.auc_encoder] for row in self.rows],
+            precision=4,
+            title=f"Ablation: {self.name} (preset={self.preset})",
+        )
+
+    def best(self) -> AblationRow:
+        """Row with the best cold-start AUC."""
+        return max(self.rows, key=lambda row: row.auc_generator)
+
+
+def _train_and_score(
+    world: TmallWorld,
+    preset: ExperimentPreset,
+    tower: TowerConfig,
+    lambda_similarity: float,
+    share_embeddings: bool,
+    seed_label: str,
+) -> AblationRow:
+    rng = np.random.default_rng(derive_seed(preset.seed, "ablation-split"))
+    train, test = train_test_split(world.interactions, 0.2, rng)
+    model = ATNN(
+        world.schema,
+        tower,
+        share_embeddings=share_embeddings,
+        rng=np.random.default_rng(derive_seed(preset.seed, seed_label)),
+    )
+    trainer = ATNNTrainer(
+        lambda_similarity=lambda_similarity,
+        epochs=preset.epochs,
+        batch_size=preset.batch_size,
+        lr=preset.lr,
+        seed=derive_seed(preset.seed, seed_label + "-train"),
+    )
+    trainer.fit(model, train)
+    return AblationRow(
+        setting=seed_label,
+        auc_generator=roc_auc(
+            test.label("ctr"), model.predict_proba_cold_start(test.features)
+        ),
+        auc_encoder=roc_auc(test.label("ctr"), model.predict_proba(test.features)),
+    )
+
+
+def run_lambda_ablation(
+    preset: str = "default",
+    world: Optional[TmallWorld] = None,
+    lambdas: Sequence[float] = (0.0, 0.01, 0.1, 1.0, 10.0),
+) -> AblationResult:
+    """Sweep the similarity-loss weight ``lambda`` (paper value: 0.1)."""
+    config = get_preset(preset)
+    if world is None:
+        world = generate_tmall_world(config.tmall)
+    rows = []
+    for value in lambdas:
+        row = _train_and_score(
+            world, config, config.tower, value, True, f"lambda={value:g}"
+        )
+        rows.append(replace_setting(row, f"lambda={value:g}"))
+    return AblationResult(name="similarity weight lambda", rows=rows, preset=preset)
+
+
+def run_embedding_sharing_ablation(
+    preset: str = "default",
+    world: Optional[TmallWorld] = None,
+) -> AblationResult:
+    """Shared vs separate generator/encoder profile embeddings."""
+    config = get_preset(preset)
+    if world is None:
+        world = generate_tmall_world(config.tmall)
+    rows = [
+        replace_setting(
+            _train_and_score(world, config, config.tower,
+                             config.lambda_similarity, True, "shared"),
+            "shared embeddings",
+        ),
+        replace_setting(
+            _train_and_score(world, config, config.tower,
+                             config.lambda_similarity, False, "separate"),
+            "separate embeddings",
+        ),
+    ]
+    return AblationResult(name="embedding sharing", rows=rows, preset=preset)
+
+
+def run_cross_depth_ablation(
+    preset: str = "default",
+    world: Optional[TmallWorld] = None,
+    depths: Sequence[int] = (0, 1, 2, 3),
+) -> AblationResult:
+    """Cross-network depth sweep (0 = fully connected towers)."""
+    config = get_preset(preset)
+    if world is None:
+        world = generate_tmall_world(config.tmall)
+    rows = []
+    for depth in depths:
+        tower = replace(config.tower, num_cross_layers=depth)
+        row = _train_and_score(
+            world, config, tower, config.lambda_similarity, True, f"depth={depth}"
+        )
+        rows.append(replace_setting(row, f"{depth} cross layers"))
+    return AblationResult(name="cross-network depth", rows=rows, preset=preset)
+
+
+def replace_setting(row: AblationRow, setting: str) -> AblationRow:
+    """Return a copy of ``row`` with a human-readable setting label."""
+    return AblationRow(
+        setting=setting,
+        auc_generator=row.auc_generator,
+        auc_encoder=row.auc_encoder,
+    )

@@ -1,0 +1,179 @@
+"""Popularity-scoring complexity experiment (the paper's O(1) claim).
+
+Section III-D argues that scoring a new arrival against a stored mean user
+vector costs O(1) per item, versus O(N_U) for the exact pairwise mean over
+the user group.  This experiment measures the per-item scoring cost of
+both strategies as the user-group size grows, and the rank agreement
+between the two orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.synthetic.common import sigmoid
+from repro.experiments.pipeline import TmallArtifacts, build_tmall_artifacts
+from repro.metrics import rank_correlation
+from repro.utils.tabulate import format_table
+from repro.utils.timer import time_callable
+
+__all__ = ["ComplexityRow", "ComplexityResult", "run_complexity"]
+
+
+@dataclass
+class ComplexityRow:
+    """Timing at one user-group size."""
+
+    n_users: int
+    mean_vector_seconds_per_item: float
+    pairwise_seconds_per_item: float
+
+    @property
+    def speedup(self) -> float:
+        """How many times faster the mean-vector path is."""
+        if self.mean_vector_seconds_per_item <= 0:
+            return float("inf")
+        return self.pairwise_seconds_per_item / self.mean_vector_seconds_per_item
+
+
+@dataclass
+class ComplexityResult:
+    """Sweep results plus rank agreement of the two orderings."""
+
+    rows: List[ComplexityRow]
+    rank_agreement: float
+    n_items: int
+    preset: str
+
+    def as_dict(self):
+        """JSON-friendly summary."""
+        return {
+            "rank_agreement": self.rank_agreement,
+            "n_items": self.n_items,
+            "rows": [
+                {
+                    "n_users": row.n_users,
+                    "mean_vector_seconds_per_item": row.mean_vector_seconds_per_item,
+                    "pairwise_seconds_per_item": row.pairwise_seconds_per_item,
+                    "speedup": row.speedup,
+                }
+                for row in self.rows
+            ],
+        }
+
+    def render(self) -> str:
+        """ASCII report of the complexity sweep."""
+        body = [
+            [
+                row.n_users,
+                row.mean_vector_seconds_per_item * 1e6,
+                row.pairwise_seconds_per_item * 1e6,
+                row.speedup,
+            ]
+            for row in self.rows
+        ]
+        table = format_table(
+            [
+                "Users in group",
+                "Mean-vector us/item",
+                "Pairwise us/item",
+                "Speedup x",
+            ],
+            body,
+            precision=2,
+            title=(
+                f"Popularity scoring cost vs user-group size "
+                f"(n_items={self.n_items}, preset={self.preset})"
+            ),
+        )
+        return table + (
+            f"\nSpearman rank agreement (mean-vector vs exact pairwise): "
+            f"{self.rank_agreement:.4f}"
+        )
+
+
+def _mean_vector_scores(
+    item_vectors: np.ndarray, mean_user: np.ndarray, weight: np.ndarray, bias: float
+) -> np.ndarray:
+    """The O(1)-per-item serving kernel."""
+    return sigmoid(item_vectors @ (weight * mean_user) + bias)
+
+
+def _pairwise_scores(
+    item_vectors: np.ndarray, user_vectors: np.ndarray, weight: np.ndarray, bias: float
+) -> np.ndarray:
+    """The O(N_U)-per-item exact mean of pairwise scores."""
+    logits = (item_vectors * weight) @ user_vectors.T + bias
+    return sigmoid(logits).mean(axis=1)
+
+
+def run_complexity(
+    preset: str = "default",
+    artifacts: Optional[TmallArtifacts] = None,
+    user_counts: Sequence[int] = (250, 500, 1000, 2000),
+    repeats: int = 3,
+) -> ComplexityResult:
+    """Measure per-item popularity-scoring cost vs user-group size.
+
+    Parameters
+    ----------
+    preset:
+        Size preset name (ignored when ``artifacts`` is given).
+    artifacts:
+        Optional pre-trained stack with ``keep_individual_users=True``.
+    user_counts:
+        User-group sizes to sweep (capped at the world's user count).
+    repeats:
+        Timing repetitions (the minimum is reported).
+    """
+    if artifacts is None:
+        artifacts = build_tmall_artifacts(preset, keep_individual_users=True)
+    predictor = artifacts.predictor
+
+    item_vectors = predictor._encode_items(artifacts.world.new_items)
+    # Sweep over the full user population so the O(N_U) trend is visible
+    # beyond the fitted user group's size.
+    user_vectors = predictor._encode_users(artifacts.world.users)
+    weight = artifacts.model.scoring_head.weight.data
+    bias = float(artifacts.model.scoring_head.bias.data[0])
+    n_items = item_vectors.shape[0]
+
+    rows: List[ComplexityRow] = []
+    seen_counts = set()
+    for count in user_counts:
+        count = min(count, user_vectors.shape[0])
+        if count in seen_counts:
+            continue
+        seen_counts.add(count)
+        subset = user_vectors[:count]
+        mean_user = subset.mean(axis=0)
+        mean_time = time_callable(
+            lambda: _mean_vector_scores(item_vectors, mean_user, weight, bias),
+            repeats=repeats,
+        )
+        pair_time = time_callable(
+            lambda: _pairwise_scores(item_vectors, subset, weight, bias),
+            repeats=repeats,
+        )
+        rows.append(
+            ComplexityRow(
+                n_users=count,
+                mean_vector_seconds_per_item=mean_time / n_items,
+                pairwise_seconds_per_item=pair_time / n_items,
+            )
+        )
+
+    full_mean = _mean_vector_scores(
+        item_vectors, user_vectors.mean(axis=0), weight, bias
+    )
+    full_pairwise = _pairwise_scores(item_vectors, user_vectors, weight, bias)
+    agreement = rank_correlation(full_mean, full_pairwise)
+    return ComplexityResult(
+        rows=rows,
+        rank_agreement=agreement,
+        n_items=n_items,
+        preset=artifacts.preset.name,
+    )

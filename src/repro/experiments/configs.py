@@ -1,0 +1,112 @@
+"""Shared experiment configuration presets.
+
+Three size presets are provided:
+
+* ``smoke``  — seconds; used by the integration tests,
+* ``default`` — a few minutes for the complete table; used by the
+  benchmark harness,
+* ``paper`` — the paper's exact network dimensions on the largest world
+  that is still laptop-feasible (hours); for high-fidelity runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.towers import TowerConfig
+from repro.data.synthetic.eleme import ElemeConfig
+from repro.data.synthetic.tmall import TmallConfig
+
+__all__ = ["ExperimentPreset", "get_preset", "PRESETS"]
+
+
+@dataclass(frozen=True)
+class ExperimentPreset:
+    """Everything a table pipeline needs: world sizes, tower dims, training."""
+
+    name: str
+    tmall: TmallConfig
+    eleme: ElemeConfig
+    tower: TowerConfig
+    epochs: int
+    batch_size: int
+    lr: float
+    # The food-delivery dataset is much smaller than the CTR dataset, so
+    # its trainers get their own budget (more epochs, smaller batches).
+    eleme_epochs: int = 8
+    eleme_batch_size: int = 128
+    lambda_similarity: float = 0.1
+    lambda_vppv: float = 100.0
+    lambda_similarity_multitask: float = 10.0
+    seed: int = 0
+
+
+_SMOKE = ExperimentPreset(
+    name="smoke",
+    tmall=TmallConfig(
+        n_users=600, n_items=900, n_new_items=300, n_interactions=18_000
+    ),
+    eleme=ElemeConfig(
+        n_restaurants=600, n_new_restaurants=250, samples_per_restaurant=5
+    ),
+    tower=TowerConfig(
+        vector_dim=16, deep_dims=(32, 16), head_dims=(32,), num_cross_layers=2
+    ),
+    epochs=2,
+    batch_size=512,
+    lr=2e-3,
+    eleme_epochs=8,
+    eleme_batch_size=128,
+)
+
+_DEFAULT = ExperimentPreset(
+    name="default",
+    tmall=TmallConfig(
+        n_users=3000, n_items=4000, n_new_items=1500, n_interactions=120_000
+    ),
+    eleme=ElemeConfig(
+        n_restaurants=3000, n_new_restaurants=1200, samples_per_restaurant=8
+    ),
+    tower=TowerConfig(
+        vector_dim=32, deep_dims=(64, 32), head_dims=(64,), num_cross_layers=2
+    ),
+    epochs=3,
+    batch_size=512,
+    lr=1.5e-3,
+    eleme_epochs=8,
+    eleme_batch_size=256,
+)
+
+_PAPER = ExperimentPreset(
+    name="paper",
+    tmall=TmallConfig(
+        n_users=20_000, n_items=40_000, n_new_items=10_000, n_interactions=1_000_000
+    ),
+    eleme=ElemeConfig(
+        n_restaurants=20_000, n_new_restaurants=8_000, samples_per_restaurant=10
+    ),
+    tower=TowerConfig.paper(),
+    epochs=3,
+    batch_size=1024,
+    lr=1e-3,
+    eleme_epochs=8,
+    eleme_batch_size=512,
+)
+
+PRESETS = {"smoke": _SMOKE, "default": _DEFAULT, "paper": _PAPER}
+
+
+def get_preset(name: str) -> ExperimentPreset:
+    """Look up a preset by name.
+
+    Raises
+    ------
+    ValueError
+        On an unknown preset name.
+    """
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from None

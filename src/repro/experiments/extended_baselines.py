@@ -1,0 +1,101 @@
+"""Extended Table I: the full related-work CTR family under cold start.
+
+The paper's Table I compares four models; its related-work section
+discusses the wider CTR lineage (LR, FM, Wide & Deep, DeepFM).  This
+extension experiment evaluates that whole family in the same two regimes
+(complete features vs statistics-missing) alongside ATNN, using the same
+world, split and protocol as :func:`repro.experiments.table1.run_table1`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines import (
+    DeepFM,
+    FactorizationMachine,
+    LogisticRegressionCTR,
+    WideAndDeep,
+)
+from repro.data import train_test_split, zero_statistics
+from repro.data.synthetic import TmallWorld, generate_tmall_world
+from repro.experiments.configs import get_preset
+from repro.experiments.table1 import Table1Result, Table1Row, _atnn_aucs
+from repro.metrics import roc_auc
+from repro.utils.rng import derive_seed
+
+__all__ = ["run_extended_baselines"]
+
+
+def _flat_model_factory(name: str, schema, rng):
+    """Instantiate one flat baseline by name."""
+    if name == "LR":
+        return LogisticRegressionCTR(schema, rng=rng)
+    if name == "FM":
+        return FactorizationMachine(schema, factor_dim=8, rng=rng)
+    if name == "Wide&Deep":
+        return WideAndDeep(schema, rng=rng)
+    if name == "DeepFM":
+        return DeepFM(schema, factor_dim=8, rng=rng)
+    raise ValueError(f"unknown baseline {name!r}")
+
+
+def run_extended_baselines(
+    preset: str = "default",
+    world: Optional[TmallWorld] = None,
+    models: Optional[List[str]] = None,
+    include_atnn: bool = True,
+) -> Table1Result:
+    """Run the extended cold-start comparison.
+
+    Parameters
+    ----------
+    preset:
+        Size preset name.
+    world:
+        Optional pre-generated world to reuse.
+    models:
+        Subset of {"LR", "FM", "Wide&Deep", "DeepFM"}.
+    include_atnn:
+        Append the ATNN row for reference.
+
+    Returns
+    -------
+    Table1Result
+        Rows in lineage order (LR → FM → Wide&Deep → DeepFM → ATNN).
+    """
+    config = get_preset(preset)
+    if world is None:
+        world = generate_tmall_world(config.tmall)
+    rng = np.random.default_rng(derive_seed(config.seed, "table1-split"))
+    train, test = train_test_split(world.interactions, 0.2, rng)
+
+    wanted = models if models is not None else ["LR", "FM", "Wide&Deep", "DeepFM"]
+    rows: List[Table1Row] = []
+    cold_features = zero_statistics(test.schema, test.features)
+    for name in wanted:
+        model = _flat_model_factory(
+            name, world.schema, np.random.default_rng(derive_seed(config.seed, name))
+        )
+        model.fit(
+            train,
+            epochs=config.epochs,
+            batch_size=config.batch_size,
+            lr=5e-3,
+            seed=derive_seed(config.seed, f"{name}-train"),
+        )
+        complete = roc_auc(test.label("ctr"), model.predict_proba(test.features))
+        profile_only = roc_auc(
+            test.label("ctr"), model.predict_proba(cold_features)
+        )
+        rows.append(Table1Row(name, profile_only, complete))
+
+    if include_atnn:
+        rows.append(_atnn_aucs(train, test, config, config.seed))
+    return Table1Result(
+        rows=rows,
+        preset=preset,
+        title="Extended cold-start comparison — related-work CTR family",
+    )

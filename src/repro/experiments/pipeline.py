@@ -1,0 +1,162 @@
+"""Shared experiment pipelines: build-once artifacts reused across tables.
+
+Tables II and III both need a trained ATNN and a fitted popularity
+predictor over the same Tmall world; :func:`build_tmall_artifacts` builds
+them once.  Likewise Tables IV and V share a trained multi-task ATNN via
+:func:`build_eleme_artifacts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core import (
+    ATNN,
+    ATNNTrainer,
+    MultiTaskATNN,
+    MultiTaskTrainer,
+    PopularityPredictor,
+    TrainingHistory,
+)
+from repro.data import train_test_split
+from repro.data.synthetic import (
+    ElemeWorld,
+    TmallWorld,
+    generate_eleme_world,
+    generate_tmall_world,
+)
+from repro.experiments.configs import ExperimentPreset, get_preset
+from repro.utils.rng import derive_seed
+
+__all__ = [
+    "TmallArtifacts",
+    "ElemeArtifacts",
+    "build_tmall_artifacts",
+    "build_eleme_artifacts",
+]
+
+
+@dataclass
+class TmallArtifacts:
+    """A trained e-commerce stack ready for popularity experiments."""
+
+    preset: ExperimentPreset
+    world: TmallWorld
+    model: ATNN
+    predictor: PopularityPredictor
+    history: TrainingHistory
+    test_auc_encoder: float
+    test_auc_generator: float
+
+
+@dataclass
+class ElemeArtifacts:
+    """A trained food-delivery stack ready for Tables IV / V."""
+
+    preset: ExperimentPreset
+    world: ElemeWorld
+    model: MultiTaskATNN
+    history: TrainingHistory
+
+
+def build_tmall_artifacts(
+    preset: str = "default",
+    world: Optional[TmallWorld] = None,
+    user_group_fraction: float = 0.25,
+    keep_individual_users: bool = False,
+) -> TmallArtifacts:
+    """Generate the world, train ATNN, and fit the popularity service.
+
+    Parameters
+    ----------
+    preset:
+        Size preset name.
+    world:
+        Optional pre-generated world to reuse.
+    user_group_fraction:
+        Fraction of most-active users forming the paper's user group.
+    keep_individual_users:
+        Keep per-user vectors in the predictor (needed by the exact
+        pairwise baseline in the ablations/complexity benchmarks).
+    """
+    config = get_preset(preset)
+    if world is None:
+        world = generate_tmall_world(config.tmall)
+
+    rng = np.random.default_rng(derive_seed(config.seed, "pipeline-split"))
+    train, test = train_test_split(world.interactions, 0.2, rng)
+
+    model = ATNN(
+        world.schema,
+        config.tower,
+        rng=np.random.default_rng(derive_seed(config.seed, "pipeline-atnn")),
+    )
+    trainer = ATNNTrainer(
+        lambda_similarity=config.lambda_similarity,
+        epochs=config.epochs,
+        batch_size=config.batch_size,
+        lr=config.lr,
+        seed=derive_seed(config.seed, "pipeline-train"),
+    )
+    history = trainer.fit(model, train, valid=test)
+
+    predictor = PopularityPredictor(model)
+    predictor.fit_user_group(
+        world.active_user_group(user_group_fraction),
+        keep_individual=keep_individual_users,
+    )
+    return TmallArtifacts(
+        preset=config,
+        world=world,
+        model=model,
+        predictor=predictor,
+        history=history,
+        test_auc_encoder=history.last("valid_auc_encoder"),
+        test_auc_generator=history.last("valid_auc_generator"),
+    )
+
+
+def build_eleme_artifacts(
+    preset: str = "default",
+    world: Optional[ElemeWorld] = None,
+    adversarial: bool = True,
+) -> ElemeArtifacts:
+    """Generate the food-delivery world and train a multi-task model.
+
+    Parameters
+    ----------
+    preset:
+        Size preset name.
+    world:
+        Optional pre-generated world to reuse.
+    adversarial:
+        Train the full multi-task ATNN (True) or the non-adversarial
+        TNN-DCN comparison model (False).
+    """
+    config = get_preset(preset)
+    if world is None:
+        world = generate_eleme_world(config.eleme)
+
+    rng = np.random.default_rng(derive_seed(config.seed, "eleme-split"))
+    train, test = train_test_split(world.samples, 0.2, rng)
+
+    label = "atnn" if adversarial else "tnn-dcn"
+    model = MultiTaskATNN(
+        world.schema,
+        config.tower,
+        rng=np.random.default_rng(derive_seed(config.seed, f"eleme-{label}")),
+    )
+    trainer = MultiTaskTrainer(
+        lambda_vppv=config.lambda_vppv,
+        lambda_similarity=config.lambda_similarity_multitask,
+        adversarial=adversarial,
+        epochs=config.eleme_epochs,
+        batch_size=config.eleme_batch_size,
+        lr=config.lr,
+        seed=derive_seed(config.seed, f"eleme-{label}-train"),
+    )
+    history = trainer.fit(model, train, valid=test)
+    return ElemeArtifacts(preset=config, world=world, model=model, history=history)

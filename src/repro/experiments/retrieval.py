@@ -1,0 +1,147 @@
+"""Personalised-recommendation experiment (downstream application #1).
+
+The deployed ATNN feeds personalised search & recommendation.  This
+experiment evaluates that path: for each held-out user with enough test
+interactions, rank their candidate items by (a) the ATNN encoder score,
+(b) the ATNN cold-start generator score, (c) a non-personalised
+popularity heuristic (historical CTR statistic) and (d) random, then
+compare top-k ranking quality (hit rate / recall / NDCG / MRR).
+
+Expected shape: personalised ATNN paths beat the popularity heuristic,
+which beats random — personalisation is the point of the two-tower
+geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data import train_test_split
+from repro.experiments.pipeline import TmallArtifacts, build_tmall_artifacts
+from repro.metrics import ranking_report
+from repro.utils.rng import derive_seed
+from repro.utils.tabulate import format_table
+
+__all__ = ["RetrievalResult", "run_retrieval"]
+
+
+@dataclass
+class RetrievalResult:
+    """Per-method ranking reports."""
+
+    reports: Dict[str, Dict[str, float]]
+    k: int
+    preset: str
+
+    def as_dict(self):
+        """JSON-friendly summary."""
+        return {"k": self.k, "reports": self.reports}
+
+    def render(self) -> str:
+        """ASCII table: one row per scoring method."""
+        headers = ["Method", f"HitRate@{self.k}", f"Recall@{self.k}",
+                   f"NDCG@{self.k}", f"MRR@{self.k}", "Users"]
+        rows = [
+            [
+                method,
+                report["hit_rate"],
+                report["recall"],
+                report["ndcg"],
+                report["mrr"],
+                int(report["n_users"]),
+            ]
+            for method, report in self.reports.items()
+        ]
+        return format_table(
+            headers,
+            rows,
+            precision=4,
+            title=f"Personalised recommendation quality (preset={self.preset})",
+        )
+
+    def metric(self, method: str, name: str) -> float:
+        """One method's metric value."""
+        return self.reports[method][name]
+
+
+def _per_user_groups(
+    test, min_candidates: int
+) -> List[np.ndarray]:
+    """Row-index groups per user with enough candidates and both classes."""
+    user_ids = test.features["user_id"]
+    labels = test.label("ctr")
+    order = np.argsort(user_ids, kind="mergesort")
+    groups: List[np.ndarray] = []
+    start = 0
+    sorted_ids = user_ids[order]
+    for end in range(1, order.size + 1):
+        if end == order.size or sorted_ids[end] != sorted_ids[start]:
+            rows = order[start:end]
+            if rows.size >= min_candidates:
+                group_labels = labels[rows]
+                if 0.0 < group_labels.mean() < 1.0:
+                    groups.append(rows)
+            start = end
+    return groups
+
+
+def run_retrieval(
+    preset: str = "default",
+    artifacts: Optional[TmallArtifacts] = None,
+    k: int = 5,
+    min_candidates: int = 8,
+) -> RetrievalResult:
+    """Evaluate per-user top-k ranking quality of four scoring methods.
+
+    Parameters
+    ----------
+    preset:
+        Size preset name (ignored when ``artifacts`` is given).
+    artifacts:
+        Optional pre-trained stack.
+    k:
+        Ranking cutoff.
+    min_candidates:
+        Minimum test rows a user needs to be evaluated.
+    """
+    if artifacts is None:
+        artifacts = build_tmall_artifacts(preset)
+    world = artifacts.world
+    seed = artifacts.preset.seed
+
+    rng = np.random.default_rng(derive_seed(seed, "pipeline-split"))
+    _, test = train_test_split(world.interactions, 0.2, rng)
+    groups = _per_user_groups(test, min_candidates)
+    if not groups:
+        raise ValueError(
+            "no users with enough test candidates; increase world size or "
+            "lower min_candidates"
+        )
+
+    encoder_scores = artifacts.model.predict_proba(test.features)
+    generator_scores = artifacts.model.predict_proba_cold_start(test.features)
+    popularity_scores = test.features["stat_hist_ctr"]
+    random_rng = np.random.default_rng(derive_seed(seed, "retrieval-random"))
+    random_scores = random_rng.random(len(test))
+
+    labels = test.label("ctr")
+    methods = {
+        "ATNN (encoder)": encoder_scores,
+        "ATNN (generator)": generator_scores,
+        "Popularity (hist CTR)": popularity_scores,
+        "Random": random_scores,
+    }
+
+    reports: Dict[str, Dict[str, float]] = {}
+    for method, scores in methods.items():
+        per_user: List[Tuple[np.ndarray, np.ndarray]] = []
+        for rows in groups:
+            cutoff = min(k, rows.size)
+            if cutoff < k:
+                continue
+            per_user.append((labels[rows], scores[rows]))
+        reports[method] = ranking_report(per_user, k)
+    return RetrievalResult(reports=reports, k=k, preset=artifacts.preset.name)

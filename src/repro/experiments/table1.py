@@ -1,0 +1,250 @@
+"""Table I — offline item-generation-ability experiment.
+
+For each of GBDT, TNN-FC, TNN-DCN and ATNN, measure test AUC in two
+regimes:
+
+* **complete item features** (profiles + statistics) — the ideal baseline;
+* **only item profiles** (the cold-start scenario) — item statistics are
+  *missing* at serving time, exactly as for a new arrival whose feature
+  join against the statistics store comes back empty (statistic columns
+  zeroed).
+
+and report the relative performance degradation
+``(AUC_profile - AUC_complete) / AUC_complete``.
+
+Every baseline is the production model — trained once on complete
+features — then confronted with missing statistics, which is the paper's
+deployment scenario.  ATNN is trained once and evaluated through its
+encoder path (complete) and its generator path (profile-only, never needed
+statistics), exactly as deployed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core import ATNN, ATNNTrainer, TowerConfig, TwoTowerModel, TwoTowerTrainer
+from repro.data import GROUP_ITEM_PROFILE, GROUP_ITEM_STAT, GROUP_USER, train_test_split
+from repro.data.cold_start import zero_statistics
+from repro.data.dataset import InteractionDataset
+from repro.data.synthetic import TmallWorld, generate_tmall_world
+from repro.experiments.configs import ExperimentPreset, get_preset
+from repro.gbdt import GBDTClassifier
+from repro.metrics import performance_degradation, roc_auc
+from repro.utils.rng import derive_seed
+from repro.utils.tabulate import format_table
+
+__all__ = ["Table1Row", "Table1Result", "run_table1", "PAPER_TABLE1"]
+
+# The paper's reported numbers, for side-by-side comparison in reports.
+PAPER_TABLE1: Dict[str, Dict[str, float]] = {
+    "GBDT": {"profile_only": 0.6149, "complete": 0.6590, "degradation": -0.0669},
+    "TNN-FC": {"profile_only": 0.5934, "complete": 0.6048, "degradation": -0.0188},
+    "TNN-DCN": {"profile_only": 0.6860, "complete": 0.7169, "degradation": -0.0431},
+    "ATNN": {"profile_only": 0.7121, "complete": 0.7124, "degradation": -0.0004},
+}
+
+
+@dataclass
+class Table1Row:
+    """One model's row of Table I."""
+
+    model: str
+    auc_profile_only: float
+    auc_complete: float
+
+    @property
+    def degradation(self) -> float:
+        """Relative AUC loss from missing item statistics."""
+        return performance_degradation(self.auc_profile_only, self.auc_complete)
+
+
+@dataclass
+class Table1Result:
+    """All rows plus rendering helpers."""
+
+    rows: List[Table1Row]
+    preset: str
+    title: str = "Table I — item generation ability"
+
+    def row(self, model: str) -> Table1Row:
+        """Look up one model's row."""
+        for row in self.rows:
+            if row.model == model:
+                return row
+        raise KeyError(f"no row for model {model!r}")
+
+    def render(self) -> str:
+        """ASCII table in the paper's Table I layout."""
+        headers = [
+            "Model",
+            "AUC profile-only (cold start)",
+            "AUC complete (ideal)",
+            "Degradation %",
+        ]
+        body = [
+            [
+                row.model,
+                row.auc_profile_only,
+                row.auc_complete,
+                100.0 * row.degradation,
+            ]
+            for row in self.rows
+        ]
+        return format_table(
+            headers,
+            body,
+            precision=4,
+            title=f"{self.title} (preset={self.preset})",
+        )
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-friendly summary keyed by model name."""
+        return {
+            row.model: {
+                "profile_only": row.auc_profile_only,
+                "complete": row.auc_complete,
+                "degradation": row.degradation,
+            }
+            for row in self.rows
+        }
+
+
+def _gbdt_aucs(
+    train: InteractionDataset,
+    test: InteractionDataset,
+    seed: int,
+) -> Table1Row:
+    """Train GBDT on complete features; evaluate with and without stats."""
+    groups = (GROUP_USER, GROUP_ITEM_PROFILE, GROUP_ITEM_STAT)
+    model = GBDTClassifier(
+        n_estimators=60,
+        max_depth=6,
+        learning_rate=0.15,
+        min_samples_leaf=30,
+        subsample=0.9,
+        random_state=seed,
+    )
+    model.fit(train.feature_matrix(groups), train.label("ctr"))
+    complete = roc_auc(
+        test.label("ctr"), model.predict_proba(test.feature_matrix(groups))
+    )
+    cold = InteractionDataset(
+        test.schema, zero_statistics(test.schema, test.features), dict(test.labels)
+    )
+    profile_only = roc_auc(
+        test.label("ctr"), model.predict_proba(cold.feature_matrix(groups))
+    )
+    return Table1Row("GBDT", profile_only, complete)
+
+
+def _two_tower_aucs(
+    name: str,
+    num_cross_layers: int,
+    train: InteractionDataset,
+    test: InteractionDataset,
+    preset: ExperimentPreset,
+    seed: int,
+) -> Table1Row:
+    """Train a TNN baseline on complete features; evaluate both regimes."""
+    tower = TowerConfig(
+        vector_dim=preset.tower.vector_dim,
+        deep_dims=preset.tower.deep_dims,
+        head_dims=preset.tower.head_dims,
+        num_cross_layers=num_cross_layers,
+        dropout=preset.tower.dropout,
+    )
+    model = TwoTowerModel(
+        train.schema,
+        tower,
+        item_groups=(GROUP_ITEM_PROFILE, GROUP_ITEM_STAT),
+        rng=np.random.default_rng(derive_seed(seed, name)),
+    )
+    trainer = TwoTowerTrainer(
+        epochs=preset.epochs,
+        batch_size=preset.batch_size,
+        lr=preset.lr,
+        seed=derive_seed(seed, f"{name}-train"),
+    )
+    trainer.fit(model, train)
+    complete = roc_auc(test.label("ctr"), model.predict_proba(test.features))
+    profile_only = roc_auc(
+        test.label("ctr"),
+        model.predict_proba(zero_statistics(test.schema, test.features)),
+    )
+    return Table1Row(name, profile_only, complete)
+
+
+def _atnn_aucs(
+    train: InteractionDataset,
+    test: InteractionDataset,
+    preset: ExperimentPreset,
+    seed: int,
+) -> Table1Row:
+    """Train ATNN once; evaluate encoder (complete) and generator paths."""
+    model = ATNN(
+        train.schema,
+        preset.tower,
+        rng=np.random.default_rng(derive_seed(seed, "atnn")),
+    )
+    trainer = ATNNTrainer(
+        lambda_similarity=preset.lambda_similarity,
+        epochs=preset.epochs,
+        batch_size=preset.batch_size,
+        lr=preset.lr,
+        seed=derive_seed(seed, "atnn-train"),
+    )
+    trainer.fit(model, train)
+    complete = roc_auc(test.label("ctr"), model.predict_proba(test.features))
+    profile_only = roc_auc(
+        test.label("ctr"), model.predict_proba_cold_start(test.features)
+    )
+    return Table1Row("ATNN", profile_only, complete)
+
+
+def run_table1(
+    preset: str = "default",
+    world: Optional[TmallWorld] = None,
+    models: Optional[List[str]] = None,
+) -> Table1Result:
+    """Reproduce Table I.
+
+    Parameters
+    ----------
+    preset:
+        Size preset name (``smoke`` / ``default`` / ``paper``).
+    world:
+        Optional pre-generated world (reused across tables by the harness).
+    models:
+        Restrict to a subset of {"GBDT", "TNN-FC", "TNN-DCN", "ATNN"}.
+
+    Returns
+    -------
+    Table1Result
+        Rows in the paper's order.
+    """
+    config = get_preset(preset)
+    if world is None:
+        world = generate_tmall_world(config.tmall)
+    rng = np.random.default_rng(derive_seed(config.seed, "table1-split"))
+    train, test = train_test_split(world.interactions, 0.2, rng)
+
+    wanted = models if models is not None else ["GBDT", "TNN-FC", "TNN-DCN", "ATNN"]
+    unknown = [m for m in wanted if m not in ("GBDT", "TNN-FC", "TNN-DCN", "ATNN")]
+    if unknown:
+        raise ValueError(f"unknown models: {unknown}")
+
+    rows: List[Table1Row] = []
+    for name in wanted:
+        if name == "GBDT":
+            rows.append(_gbdt_aucs(train, test, config.seed))
+        elif name == "TNN-FC":
+            rows.append(_two_tower_aucs("TNN-FC", 0, train, test, config, config.seed))
+        elif name == "TNN-DCN":
+            rows.append(_two_tower_aucs("TNN-DCN", 2, train, test, config, config.seed))
+        else:
+            rows.append(_atnn_aucs(train, test, config, config.seed))
+    return Table1Result(rows=rows, preset=preset)

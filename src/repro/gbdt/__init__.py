@@ -1,0 +1,16 @@
+"""From-scratch histogram gradient boosting (the paper's GBDT baseline)."""
+
+from repro.gbdt.boosting import GBDTClassifier, GBDTRegressor
+from repro.gbdt.histogram import BinMapper
+from repro.gbdt.losses import LogisticLoss, SquaredLoss
+from repro.gbdt.tree import RegressionTree, TreeNode
+
+__all__ = [
+    "GBDTClassifier",
+    "GBDTRegressor",
+    "BinMapper",
+    "LogisticLoss",
+    "SquaredLoss",
+    "RegressionTree",
+    "TreeNode",
+]

@@ -1,0 +1,61 @@
+"""First/second-order loss derivatives for gradient boosting."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["LogisticLoss", "SquaredLoss"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+class LogisticLoss:
+    """Binary cross-entropy on raw scores (log-odds)."""
+
+    @staticmethod
+    def initial_score(targets: np.ndarray) -> float:
+        """Log-odds of the base rate — the optimal constant model."""
+        rate = float(np.clip(targets.mean(), 1e-6, 1 - 1e-6))
+        return float(np.log(rate / (1.0 - rate)))
+
+    @staticmethod
+    def gradients(scores: np.ndarray, targets: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (gradient, hessian) of the loss w.r.t. scores."""
+        probabilities = _sigmoid(scores)
+        grad = probabilities - targets
+        hess = np.maximum(probabilities * (1.0 - probabilities), 1e-12)
+        return grad, hess
+
+    @staticmethod
+    def transform(scores: np.ndarray) -> np.ndarray:
+        """Map raw scores to probabilities."""
+        return _sigmoid(scores)
+
+
+class SquaredLoss:
+    """Mean squared error on raw scores."""
+
+    @staticmethod
+    def initial_score(targets: np.ndarray) -> float:
+        """The target mean — the optimal constant model."""
+        return float(targets.mean())
+
+    @staticmethod
+    def gradients(scores: np.ndarray, targets: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (gradient, hessian) of 0.5*(s-y)^2."""
+        return scores - targets, np.ones_like(scores)
+
+    @staticmethod
+    def transform(scores: np.ndarray) -> np.ndarray:
+        """Identity for regression."""
+        return scores

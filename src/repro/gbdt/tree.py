@@ -1,0 +1,231 @@
+"""Regression tree with second-order histogram split finding.
+
+Each tree fits the Newton step of the boosting objective: for samples with
+gradients ``g`` and hessians ``h``, a leaf's optimal value is
+``-sum(g) / (sum(h) + reg_lambda)`` and a split's gain is the increase in
+``sum(g)^2 / (sum(h) + reg_lambda)`` across children — the classic
+XGBoost-style formulation, computed on binned features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["TreeNode", "RegressionTree"]
+
+
+@dataclass
+class TreeNode:
+    """One node of a fitted tree; leaves have ``feature == -1``."""
+
+    feature: int = -1
+    threshold_bin: int = 0
+    value: float = 0.0
+    left: int = -1
+    right: int = -1
+    gain: float = 0.0
+    n_samples: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+@dataclass
+class _BuildTask:
+    """Work item for the depth-first tree builder."""
+
+    node_index: int
+    sample_indices: np.ndarray
+    depth: int
+
+
+class RegressionTree:
+    """A single gradient-boosting tree over binned features.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root is depth 0).
+    min_samples_leaf:
+        Minimum samples required in each child for a split to be valid.
+    min_gain:
+        Minimum gain for a split to be kept.
+    reg_lambda:
+        L2 regularisation on leaf values.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_leaf: int = 20,
+        min_gain: float = 1e-6,
+        reg_lambda: float = 1.0,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_gain = min_gain
+        self.reg_lambda = reg_lambda
+        self.nodes: List[TreeNode] = []
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        binned: np.ndarray,
+        gradients: np.ndarray,
+        hessians: np.ndarray,
+        n_bins: np.ndarray,
+    ) -> "RegressionTree":
+        """Grow the tree on binned features with per-sample grad/hess."""
+        binned = np.ascontiguousarray(binned)
+        if binned.ndim != 2:
+            raise ValueError(f"binned features must be 2-D, got {binned.shape}")
+        gradients = np.asarray(gradients, dtype=np.float64)
+        hessians = np.asarray(hessians, dtype=np.float64)
+        if gradients.shape != (binned.shape[0],) or hessians.shape != gradients.shape:
+            raise ValueError("gradients/hessians must be 1-D and match sample count")
+
+        self.nodes = [TreeNode()]
+        stack = [_BuildTask(0, np.arange(binned.shape[0]), 0)]
+        while stack:
+            task = stack.pop()
+            left_task, right_task = self._grow(task, binned, gradients, hessians, n_bins)
+            if left_task is not None:
+                stack.append(left_task)
+                stack.append(right_task)
+        return self
+
+    def _leaf_value(self, grad_sum: float, hess_sum: float) -> float:
+        return -grad_sum / (hess_sum + self.reg_lambda)
+
+    def _score(self, grad_sum, hess_sum):
+        """Newton objective reduction term G^2 / (H + lambda)."""
+        return grad_sum * grad_sum / (hess_sum + self.reg_lambda)
+
+    def _grow(self, task, binned, gradients, hessians, n_bins):
+        node = self.nodes[task.node_index]
+        indices = task.sample_indices
+        grad = gradients[indices]
+        hess = hessians[indices]
+        grad_total = float(grad.sum())
+        hess_total = float(hess.sum())
+        node.n_samples = indices.size
+        node.value = self._leaf_value(grad_total, hess_total)
+
+        if task.depth >= self.max_depth or indices.size < 2 * self.min_samples_leaf:
+            return None, None
+
+        best_gain = self.min_gain
+        best_feature = -1
+        best_bin = -1
+        parent_score = self._score(grad_total, hess_total)
+        rows = binned[indices]
+
+        for feature in range(binned.shape[1]):
+            bins = int(n_bins[feature])
+            if bins < 2:
+                continue
+            codes = rows[:, feature]
+            grad_hist = np.bincount(codes, weights=grad, minlength=bins)
+            hess_hist = np.bincount(codes, weights=hess, minlength=bins)
+            count_hist = np.bincount(codes, minlength=bins)
+            # Cumulative sums give all "<= bin b" left partitions at once.
+            grad_left = np.cumsum(grad_hist)[:-1]
+            hess_left = np.cumsum(hess_hist)[:-1]
+            count_left = np.cumsum(count_hist)[:-1]
+            grad_right = grad_total - grad_left
+            hess_right = hess_total - hess_left
+            count_right = indices.size - count_left
+            valid = (count_left >= self.min_samples_leaf) & (
+                count_right >= self.min_samples_leaf
+            )
+            if not valid.any():
+                continue
+            gains = (
+                self._score(grad_left, hess_left)
+                + self._score(grad_right, hess_right)
+                - parent_score
+            )
+            gains[~valid] = -np.inf
+            split_bin = int(np.argmax(gains))
+            gain = float(gains[split_bin])
+            if gain > best_gain:
+                best_gain = gain
+                best_feature = feature
+                best_bin = split_bin
+
+        if best_feature < 0:
+            return None, None
+
+        go_left = rows[:, best_feature] <= best_bin
+        left_indices = indices[go_left]
+        right_indices = indices[~go_left]
+
+        node.feature = best_feature
+        node.threshold_bin = best_bin
+        node.gain = best_gain
+        node.left = len(self.nodes)
+        self.nodes.append(TreeNode())
+        node.right = len(self.nodes)
+        self.nodes.append(TreeNode())
+
+        return (
+            _BuildTask(node.left, left_indices, task.depth + 1),
+            _BuildTask(node.right, right_indices, task.depth + 1),
+        )
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(self, binned: np.ndarray) -> np.ndarray:
+        """Return leaf values for every row of binned features."""
+        if not self.nodes:
+            raise RuntimeError("tree is not fitted")
+        binned = np.asarray(binned)
+        active = np.zeros(binned.shape[0], dtype=np.int64)
+        out = np.empty(binned.shape[0], dtype=np.float64)
+        # Vectorised level traversal: advance all rows until all reach leaves.
+        pending = np.arange(binned.shape[0])
+        while pending.size:
+            node_ids = active[pending]
+            features = np.array([self.nodes[i].feature for i in node_ids])
+            is_leaf = features < 0
+            leaf_rows = pending[is_leaf]
+            if leaf_rows.size:
+                out[leaf_rows] = [self.nodes[i].value for i in active[leaf_rows]]
+            pending = pending[~is_leaf]
+            if not pending.size:
+                break
+            node_ids = active[pending]
+            features = features[~is_leaf]
+            thresholds = np.array(
+                [self.nodes[i].threshold_bin for i in node_ids]
+            )
+            values = binned[pending, features]
+            go_left = values <= thresholds
+            lefts = np.array([self.nodes[i].left for i in node_ids])
+            rights = np.array([self.nodes[i].right for i in node_ids])
+            active[pending] = np.where(go_left, lefts, rights)
+        return out
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaf nodes."""
+        return sum(1 for node in self.nodes if node.is_leaf)
+
+    def feature_gains(self, n_features: int) -> np.ndarray:
+        """Total split gain attributed to each feature."""
+        gains = np.zeros(n_features)
+        for node in self.nodes:
+            if not node.is_leaf:
+                gains[node.feature] += node.gain
+        return gains

@@ -1,0 +1,49 @@
+"""Evaluation metrics: AUC, regression errors, business indicators."""
+
+from repro.metrics.auc import roc_auc
+from repro.metrics.calibration import IsotonicCalibrator, PlattScaler
+from repro.metrics.gauc import grouped_auc
+from repro.metrics.business import (
+    QuintilePanel,
+    performance_degradation,
+    popularity_group_panel,
+    rank_correlation,
+)
+from repro.metrics.classification import (
+    accuracy,
+    calibration_error,
+    log_loss,
+    precision_at_k,
+)
+from repro.metrics.ranking import (
+    hit_rate_at_k,
+    mrr_at_k,
+    ndcg_at_k,
+    ranking_report,
+    recall_at_k,
+)
+from repro.metrics.regression import mae, mse, r2_score, rmse
+
+__all__ = [
+    "roc_auc",
+    "IsotonicCalibrator",
+    "PlattScaler",
+    "grouped_auc",
+    "QuintilePanel",
+    "performance_degradation",
+    "popularity_group_panel",
+    "rank_correlation",
+    "accuracy",
+    "calibration_error",
+    "log_loss",
+    "precision_at_k",
+    "mae",
+    "mse",
+    "r2_score",
+    "rmse",
+    "hit_rate_at_k",
+    "mrr_at_k",
+    "ndcg_at_k",
+    "ranking_report",
+    "recall_at_k",
+]

@@ -1,0 +1,161 @@
+"""Business indicators and experiment-level summaries.
+
+These implement the paper's evaluation constructs that are not standard ML
+metrics: the performance-degradation ratio of Table I, the popularity-
+quintile business panel of Table II, and ranking agreement diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.utils.validation import as_1d_float
+
+__all__ = [
+    "performance_degradation",
+    "QuintilePanel",
+    "popularity_group_panel",
+    "rank_correlation",
+]
+
+
+def performance_degradation(auc_profile_only: float, auc_complete: float) -> float:
+    """The paper's Table I degradation: ``(AUC_profile - AUC_complete) / AUC_complete``.
+
+    Negative values mean the model got worse without item statistics.
+    """
+    if auc_complete <= 0:
+        raise ValueError(f"complete-feature AUC must be positive, got {auc_complete}")
+    return (auc_profile_only - auc_complete) / auc_complete
+
+
+@dataclass
+class QuintilePanel:
+    """Per-popularity-group business indicators (Table II layout).
+
+    Attributes
+    ----------
+    group_labels:
+        Human-readable group names, best first (``0-20`` ... ``80-100``).
+    values:
+        Mapping ``(metric, day)`` → list of per-group means, best group
+        first, followed by the overall average as produced by
+        :func:`popularity_group_panel`.
+    """
+
+    group_labels: List[str]
+    values: Dict[str, List[float]]
+
+    def column(self, metric: str, day: int) -> List[float]:
+        """Per-group means for one metric/day column."""
+        key = f"{day}-day {metric}"
+        try:
+            return self.values[key]
+        except KeyError:
+            raise KeyError(
+                f"no column {key!r}; available: {sorted(self.values)}"
+            ) from None
+
+    def is_monotone(self, metric: str, day: int, tolerance: float = 0.0) -> bool:
+        """Whether the column decreases from best to worst group.
+
+        The trailing ``Average`` row is excluded.  ``tolerance`` allows
+        small inversions (as a fraction of the column mean) — the paper's
+        own Table II has one GMV inversion.
+        """
+        column = np.array(self.column(metric, day))
+        groups = column[:-1] if self.group_labels[-1] == "Average" else column
+        slack = tolerance * groups.mean()
+        return bool(np.all(np.diff(groups) <= slack))
+
+
+def popularity_group_panel(
+    scores: np.ndarray,
+    metrics_by_day: Dict[str, Dict[int, np.ndarray]],
+    n_groups: int = 5,
+) -> QuintilePanel:
+    """Group items by predicted popularity and average each indicator.
+
+    Parameters
+    ----------
+    scores:
+        Predicted popularity per item (higher = more popular).
+    metrics_by_day:
+        Nested mapping ``metric name → {day → per-item cumulative values}``
+        (e.g. ``{"IPV": {7: ..., 14: ..., 30: ...}, ...}``).
+    n_groups:
+        Number of equal-size groups (5 in the paper).
+
+    Returns
+    -------
+    QuintilePanel
+        Group means ordered best group first, plus an ``Average`` row
+        appended to every column.
+    """
+    scores = as_1d_float(scores, "scores")
+    if n_groups < 2:
+        raise ValueError(f"n_groups must be >= 2, got {n_groups}")
+    if scores.size < n_groups:
+        raise ValueError(
+            f"need at least {n_groups} items, got {scores.size}"
+        )
+    order = np.argsort(scores)[::-1]
+    group_assignments = np.array_split(order, n_groups)
+    step = 100 // n_groups
+    group_labels = [f"{step * i}-{step * (i + 1)}" for i in range(n_groups)]
+
+    values: Dict[str, List[float]] = {}
+    for metric, by_day in metrics_by_day.items():
+        for day, per_item in by_day.items():
+            per_item = as_1d_float(per_item, f"{metric}@{day}")
+            if per_item.shape != scores.shape:
+                raise ValueError(
+                    f"{metric}@{day} has shape {per_item.shape}, "
+                    f"expected {scores.shape}"
+                )
+            column = [float(per_item[group].mean()) for group in group_assignments]
+            column.append(float(per_item.mean()))
+            values[f"{day}-day {metric}"] = column
+    return QuintilePanel(group_labels=group_labels + ["Average"], values=values)
+
+
+def rank_correlation(a: Sequence[float], b: Sequence[float]) -> float:
+    """Spearman rank correlation between two score vectors.
+
+    Used by the ablations to compare the O(1) mean-user-vector ranking with
+    the exact pairwise-mean ranking.
+    """
+    a = as_1d_float(a, "a")
+    b = as_1d_float(b, "b")
+    if a.shape != b.shape:
+        raise ValueError(f"inputs must match, got {a.shape} vs {b.shape}")
+    if a.size < 2:
+        raise ValueError("rank correlation needs at least 2 samples")
+
+    def _midranks(values: np.ndarray) -> np.ndarray:
+        order = np.argsort(values, kind="mergesort")
+        ranks = np.empty(values.size, dtype=np.float64)
+        sorted_values = values[order]
+        position = 0
+        while position < values.size:
+            tie_end = position
+            while (
+                tie_end + 1 < values.size
+                and sorted_values[tie_end + 1] == sorted_values[position]
+            ):
+                tie_end += 1
+            ranks[order[position : tie_end + 1]] = 0.5 * (position + tie_end) + 1.0
+            position = tie_end + 1
+        return ranks
+
+    rank_a = _midranks(a)
+    rank_b = _midranks(b)
+    rank_a -= rank_a.mean()
+    rank_b -= rank_b.mean()
+    denominator = np.sqrt((rank_a ** 2).sum() * (rank_b ** 2).sum())
+    if denominator < 1e-24:
+        return 0.0
+    return float((rank_a * rank_b).sum() / denominator)

@@ -1,0 +1,62 @@
+"""Classification metrics beyond AUC."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import as_1d_float
+
+__all__ = ["log_loss", "accuracy", "precision_at_k", "calibration_error"]
+
+
+def _check_pair(labels, scores):
+    labels = as_1d_float(labels, "labels")
+    scores = as_1d_float(scores, "scores")
+    if labels.shape != scores.shape:
+        raise ValueError(
+            f"labels and scores must match, got {labels.shape} vs {scores.shape}"
+        )
+    if labels.size == 0:
+        raise ValueError("metrics need at least one sample")
+    return labels, scores
+
+
+def log_loss(labels, probabilities, eps: float = 1e-12) -> float:
+    """Mean negative log-likelihood of binary labels under probabilities."""
+    labels, probabilities = _check_pair(labels, probabilities)
+    clipped = np.clip(probabilities, eps, 1.0 - eps)
+    return float(
+        -np.mean(labels * np.log(clipped) + (1 - labels) * np.log(1 - clipped))
+    )
+
+
+def accuracy(labels, probabilities, threshold: float = 0.5) -> float:
+    """Fraction of correct hard decisions at ``threshold``."""
+    labels, probabilities = _check_pair(labels, probabilities)
+    return float(np.mean((probabilities >= threshold) == (labels == 1.0)))
+
+
+def precision_at_k(labels, scores, k: int) -> float:
+    """Fraction of positives among the top-``k`` scored samples."""
+    labels, scores = _check_pair(labels, scores)
+    if not 1 <= k <= labels.size:
+        raise ValueError(f"k must be in [1, {labels.size}], got {k}")
+    top = np.argsort(scores)[::-1][:k]
+    return float(labels[top].mean())
+
+
+def calibration_error(labels, probabilities, n_bins: int = 10) -> float:
+    """Expected calibration error over equal-width probability bins."""
+    labels, probabilities = _check_pair(labels, probabilities)
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    indices = np.clip(np.digitize(probabilities, edges[1:-1]), 0, n_bins - 1)
+    error = 0.0
+    for bin_index in range(n_bins):
+        mask = indices == bin_index
+        if not mask.any():
+            continue
+        gap = abs(probabilities[mask].mean() - labels[mask].mean())
+        error += mask.mean() * gap
+    return float(error)

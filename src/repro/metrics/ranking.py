@@ -1,0 +1,123 @@
+"""Top-k ranking metrics for the personalised-recommendation application.
+
+The paper's deployed system feeds ATNN scores into personalised search &
+recommendation; these metrics evaluate that use: given per-user candidate
+scores and binary relevance, compute hit rate, recall, NDCG and MRR at a
+cutoff, plus a helper that averages them over users.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import as_1d_float
+
+__all__ = ["hit_rate_at_k", "recall_at_k", "ndcg_at_k", "mrr_at_k", "ranking_report"]
+
+
+def _check(relevance, scores, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    relevance = as_1d_float(relevance, "relevance")
+    scores = as_1d_float(scores, "scores")
+    if relevance.shape != scores.shape:
+        raise ValueError(
+            f"relevance and scores must match, got {relevance.shape} vs {scores.shape}"
+        )
+    if not 1 <= k <= relevance.size:
+        raise ValueError(f"k must be in [1, {relevance.size}], got {k}")
+    if not np.isin(np.unique(relevance), (0.0, 1.0)).all():
+        raise ValueError("relevance must be binary 0/1")
+    return relevance, scores
+
+
+def _top_k(scores: np.ndarray, k: int) -> np.ndarray:
+    top = np.argpartition(scores, -k)[-k:]
+    return top[np.argsort(scores[top])[::-1]]
+
+
+def hit_rate_at_k(relevance, scores, k: int) -> float:
+    """1.0 if any relevant item appears in the top-k, else 0.0."""
+    relevance, scores = _check(relevance, scores, k)
+    return float(relevance[_top_k(scores, k)].max())
+
+
+def recall_at_k(relevance, scores, k: int) -> float:
+    """Fraction of relevant items retrieved in the top-k.
+
+    Raises
+    ------
+    ValueError
+        If there are no relevant items (recall undefined).
+    """
+    relevance, scores = _check(relevance, scores, k)
+    n_relevant = relevance.sum()
+    if n_relevant == 0:
+        raise ValueError("recall is undefined without relevant items")
+    return float(relevance[_top_k(scores, k)].sum() / n_relevant)
+
+
+def ndcg_at_k(relevance, scores, k: int) -> float:
+    """Normalised discounted cumulative gain at k (binary gains)."""
+    relevance, scores = _check(relevance, scores, k)
+    n_relevant = int(relevance.sum())
+    if n_relevant == 0:
+        raise ValueError("NDCG is undefined without relevant items")
+    gains = relevance[_top_k(scores, k)]
+    discounts = 1.0 / np.log2(np.arange(2, k + 2))
+    dcg = float((gains * discounts).sum())
+    ideal = float(discounts[: min(k, n_relevant)].sum())
+    return dcg / ideal
+
+
+def mrr_at_k(relevance, scores, k: int) -> float:
+    """Reciprocal rank of the first relevant item in the top-k (0 if none)."""
+    relevance, scores = _check(relevance, scores, k)
+    gains = relevance[_top_k(scores, k)]
+    hits = np.flatnonzero(gains)
+    if hits.size == 0:
+        return 0.0
+    return float(1.0 / (hits[0] + 1))
+
+
+def ranking_report(
+    per_user: Iterable[Tuple[Sequence[float], Sequence[float]]],
+    k: int,
+) -> Dict[str, float]:
+    """Average ranking metrics over users.
+
+    Parameters
+    ----------
+    per_user:
+        Iterable of ``(relevance, scores)`` pairs, one per user.  Users
+        with no relevant items are skipped (standard convention).
+    k:
+        Cutoff.
+
+    Returns
+    -------
+    dict
+        Mean ``hit_rate``, ``recall``, ``ndcg``, ``mrr`` plus the number
+        of evaluated users under ``n_users``.
+    """
+    hits: List[float] = []
+    recalls: List[float] = []
+    ndcgs: List[float] = []
+    mrrs: List[float] = []
+    for relevance, scores in per_user:
+        relevance = np.asarray(relevance, dtype=np.float64)
+        if relevance.sum() == 0:
+            continue
+        hits.append(hit_rate_at_k(relevance, scores, k))
+        recalls.append(recall_at_k(relevance, scores, k))
+        ndcgs.append(ndcg_at_k(relevance, scores, k))
+        mrrs.append(mrr_at_k(relevance, scores, k))
+    if not hits:
+        raise ValueError("no users with relevant items to evaluate")
+    return {
+        "hit_rate": float(np.mean(hits)),
+        "recall": float(np.mean(recalls)),
+        "ndcg": float(np.mean(ndcgs)),
+        "mrr": float(np.mean(mrrs)),
+        "n_users": float(len(hits)),
+    }

@@ -1,0 +1,48 @@
+"""Regression metrics for the multi-task food-delivery experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import as_1d_float
+
+__all__ = ["mae", "mse", "rmse", "r2_score"]
+
+
+def _check_pair(y_true, y_pred):
+    y_true = as_1d_float(y_true, "y_true")
+    y_pred = as_1d_float(y_pred, "y_pred")
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"y_true and y_pred must match, got {y_true.shape} vs {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("metrics need at least one sample")
+    return y_true, y_pred
+
+
+def mae(y_true, y_pred) -> float:
+    """Mean absolute error — the paper's Table IV metric."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def mse(y_true, y_pred) -> float:
+    """Mean squared error."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def rmse(y_true, y_pred) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(y_true, y_pred)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination (1 = perfect, 0 = mean predictor)."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    total = float(np.sum((y_true - y_true.mean()) ** 2))
+    residual = float(np.sum((y_true - y_pred) ** 2))
+    if total < 1e-24:
+        return 0.0 if residual > 1e-24 else 1.0
+    return 1.0 - residual / total

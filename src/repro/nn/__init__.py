@@ -1,0 +1,28 @@
+"""A from-scratch neural-network library over numpy.
+
+Provides the tensors, layers, losses and optimizers needed to implement the
+ATNN paper without an external deep-learning framework.
+"""
+
+from repro.nn import init, layers, losses, optim
+from repro.nn.gradcheck import check_gradients, numerical_gradient
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.tensor import Tensor, concat, embedding_lookup, is_grad_enabled, no_grad, stack
+
+__all__ = [
+    "init",
+    "layers",
+    "losses",
+    "optim",
+    "check_gradients",
+    "numerical_gradient",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Tensor",
+    "concat",
+    "embedding_lookup",
+    "is_grad_enabled",
+    "no_grad",
+    "stack",
+]

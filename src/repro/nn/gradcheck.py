@@ -1,0 +1,74 @@
+"""Numerical gradient checking for the autograd engine.
+
+Used by the test suite to validate every op and layer against central finite
+differences; also a handy debugging tool when extending the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients"]
+
+
+def numerical_gradient(
+    fn: Callable[[], Tensor],
+    tensor: Tensor,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``tensor``.
+
+    ``fn`` must recompute the scalar output from the *current* contents of
+    ``tensor.data``; this function perturbs entries in place and restores
+    them afterwards.
+    """
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = fn().item()
+        flat[index] = original - epsilon
+        lower = fn().item()
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2.0 * epsilon)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[[], Tensor],
+    tensors: Sequence[Tensor],
+    epsilon: float = 1e-6,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+) -> None:
+    """Assert analytic gradients match finite differences for ``tensors``.
+
+    Raises
+    ------
+    AssertionError
+        With a detailed report when any gradient disagrees.
+    """
+    for tensor in tensors:
+        tensor.zero_grad()
+    output = fn()
+    if output.size != 1:
+        raise ValueError(f"gradient check requires a scalar output, got {output.shape}")
+    output.backward()
+    for position, tensor in enumerate(tensors):
+        if not tensor.requires_grad:
+            raise ValueError(f"tensor #{position} does not require grad")
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = numerical_gradient(fn, tensor, epsilon=epsilon)
+        if not np.allclose(analytic, numeric, rtol=rtol, atol=atol):
+            worst = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradient mismatch for tensor #{position} "
+                f"(shape {tensor.shape}): max abs error {worst:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )

@@ -1,0 +1,81 @@
+"""Weight initialisation schemes.
+
+All initialisers take an explicit ``numpy.random.Generator`` so that every
+model in the reproduction is fully deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "xavier_uniform",
+    "xavier_normal",
+    "he_uniform",
+    "he_normal",
+    "uniform",
+    "normal",
+    "zeros",
+    "ones",
+]
+
+
+def _fan(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a weight shape."""
+    if len(shape) < 1:
+        raise ValueError("weight shape must have at least one dimension")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    return shape[0] * receptive, shape[1] * receptive
+
+
+def xavier_uniform(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fan(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+    """Glorot/Xavier normal: N(0, 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fan(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+    """He uniform, appropriate ahead of ReLU activations."""
+    fan_in, _ = _fan(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def he_normal(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+    """He normal: N(0, 2 / fan_in)."""
+    fan_in, _ = _fan(shape)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def uniform(rng: np.random.Generator, shape: Tuple[int, ...],
+            low: float = -0.05, high: float = 0.05) -> np.ndarray:
+    """Plain uniform initialisation in ``[low, high)``."""
+    return rng.uniform(low, high, size=shape)
+
+
+def normal(rng: np.random.Generator, shape: Tuple[int, ...],
+           mean: float = 0.0, std: float = 0.01) -> np.ndarray:
+    """Plain normal initialisation."""
+    return rng.normal(mean, std, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-one initialisation (normalisation gains)."""
+    return np.ones(shape)

@@ -1,0 +1,73 @@
+"""Activation layers wrapping the tensor-level nonlinearities."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["ReLU", "LeakyReLU", "Sigmoid", "Tanh", "Identity", "get_activation"]
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    """Leaky rectified linear unit."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Identity(Module):
+    """No-op activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+_ACTIVATIONS = {
+    "relu": ReLU,
+    "leaky_relu": LeakyReLU,
+    "sigmoid": Sigmoid,
+    "tanh": Tanh,
+    "identity": Identity,
+    "linear": Identity,
+}
+
+
+def get_activation(name: str) -> Module:
+    """Instantiate an activation by name.
+
+    Raises
+    ------
+    ValueError
+        If the name is unknown.
+    """
+    try:
+        return _ACTIVATIONS[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; choose from {sorted(_ACTIVATIONS)}"
+        ) from None

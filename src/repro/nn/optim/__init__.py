@@ -1,0 +1,25 @@
+"""Optimizers and learning-rate schedulers."""
+
+from repro.nn.optim.adagrad import AdaGrad
+from repro.nn.optim.adam import Adam
+from repro.nn.optim.ftrl import FTRL
+from repro.nn.optim.optimizer import Optimizer
+from repro.nn.optim.schedulers import (
+    CosineDecay,
+    ExponentialDecay,
+    StepDecay,
+    WarmupWrapper,
+)
+from repro.nn.optim.sgd import SGD
+
+__all__ = [
+    "AdaGrad",
+    "Adam",
+    "FTRL",
+    "Optimizer",
+    "SGD",
+    "CosineDecay",
+    "ExponentialDecay",
+    "StepDecay",
+    "WarmupWrapper",
+]

@@ -1,0 +1,43 @@
+"""AdaGrad optimizer — well suited to sparse embedding gradients."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.nn.optim.optimizer import Optimizer
+
+__all__ = ["AdaGrad"]
+
+
+class AdaGrad(Optimizer):
+    """Per-coordinate learning rates from accumulated squared gradients."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        eps: float = 1e-10,
+        initial_accumulator: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if initial_accumulator < 0:
+            raise ValueError(
+                f"initial_accumulator must be non-negative, got {initial_accumulator}"
+            )
+        self.eps = eps
+        self.initial_accumulator = initial_accumulator
+        self._accumulator: Dict[int, np.ndarray] = {}
+
+    _STATE_BUFFERS = ("_accumulator",)
+
+    def _update(self, param: Parameter) -> None:
+        key = id(param)
+        acc = self._accumulator.get(key)
+        if acc is None:
+            acc = np.full_like(param.data, self.initial_accumulator)
+        acc = acc + param.grad * param.grad
+        self._accumulator[key] = acc
+        param.data -= self.lr * param.grad / (np.sqrt(acc) + self.eps)

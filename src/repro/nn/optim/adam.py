@@ -1,0 +1,73 @@
+"""Adam optimizer (Kingma & Ba, 2015) with bias correction."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.nn.optim.optimizer import Optimizer
+
+__all__ = ["Adam"]
+
+
+class Adam(Optimizer):
+    """Adaptive moment estimation — the workhorse optimizer of the repo.
+
+    Parameters
+    ----------
+    parameters:
+        Parameters to optimise.
+    lr:
+        Learning rate.
+    betas:
+        Exponential decay rates for the first and second moment estimates.
+    eps:
+        Denominator fuzz factor.
+    weight_decay:
+        L2 penalty coefficient added to the gradient.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: Tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must lie in [0, 1), got {betas}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t: Dict[int, int] = {}
+
+    _STATE_BUFFERS = ("_m", "_v", "_t")
+
+    def _update(self, param: Parameter) -> None:
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        key = id(param)
+        m = self._m.get(key)
+        if m is None:
+            m = np.zeros_like(param.data)
+            self._v[key] = np.zeros_like(param.data)
+            self._t[key] = 0
+        v = self._v[key]
+        self._t[key] += 1
+        t = self._t[key]
+        m = self.beta1 * m + (1 - self.beta1) * grad
+        v = self.beta2 * v + (1 - self.beta2) * grad * grad
+        self._m[key] = m
+        self._v[key] = v
+        m_hat = m / (1 - self.beta1 ** t)
+        v_hat = v / (1 - self.beta2 ** t)
+        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,75 @@
+"""FTRL-Proximal optimizer (McMahan et al., KDD 2013).
+
+Follow-The-Regularized-Leader with per-coordinate learning rates and L1/L2
+regularisation.  Included because the paper's related-work baseline family
+(LR / FTRL) is part of the CTR-prediction lineage it compares against; the
+repo's logistic-regression baseline uses it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.nn.optim.optimizer import Optimizer
+
+__all__ = ["FTRL"]
+
+
+class FTRL(Optimizer):
+    """FTRL-Proximal with L1-induced sparsity.
+
+    Parameters
+    ----------
+    parameters:
+        Parameters to optimise.
+    lr:
+        The ``alpha`` per-coordinate learning-rate scale.
+    beta:
+        Smoothing term in the per-coordinate rate.
+    l1:
+        L1 regularisation strength (drives exact zeros).
+    l2:
+        L2 regularisation strength.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.1,
+        beta: float = 1.0,
+        l1: float = 0.0,
+        l2: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if l1 < 0 or l2 < 0:
+            raise ValueError(f"regularisation strengths must be >= 0, got l1={l1}, l2={l2}")
+        self.beta = beta
+        self.l1 = l1
+        self.l2 = l2
+        self._z: Dict[int, np.ndarray] = {}
+        self._n: Dict[int, np.ndarray] = {}
+
+    _STATE_BUFFERS = ("_z", "_n")
+
+    def _update(self, param: Parameter) -> None:
+        key = id(param)
+        z = self._z.get(key)
+        if z is None:
+            z = np.zeros_like(param.data)
+            self._n[key] = np.zeros_like(param.data)
+        n = self._n[key]
+        grad = param.grad
+        sigma = (np.sqrt(n + grad * grad) - np.sqrt(n)) / self.lr
+        z = z + grad - sigma * param.data
+        n = n + grad * grad
+        self._z[key] = z
+        self._n[key] = n
+        # Closed-form proximal step.
+        mask = np.abs(z) > self.l1
+        denominator = (self.beta + np.sqrt(n)) / self.lr + self.l2
+        param.data[...] = np.where(
+            mask, -(z - np.sign(z) * self.l1) / denominator, 0.0
+        )

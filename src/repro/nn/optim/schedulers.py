@@ -1,0 +1,85 @@
+"""Learning-rate schedulers operating on an optimizer's ``lr`` attribute."""
+
+from __future__ import annotations
+
+from repro.nn.optim.optimizer import Optimizer
+
+__all__ = ["StepDecay", "ExponentialDecay", "CosineDecay", "WarmupWrapper"]
+
+
+class _Scheduler:
+    """Base class tracking the epoch counter and the initial rate."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the new learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self._rate(self.epoch)
+        return self.optimizer.lr
+
+    def _rate(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class StepDecay(_Scheduler):
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _rate(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class ExponentialDecay(_Scheduler):
+    """Multiply the rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def _rate(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** epoch
+
+
+class CosineDecay(_Scheduler):
+    """Cosine annealing from the base rate to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if total_epochs <= 0:
+            raise ValueError(f"total_epochs must be positive, got {total_epochs}")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def _rate(self, epoch: int) -> float:
+        import math
+
+        progress = min(epoch / self.total_epochs, 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+class WarmupWrapper(_Scheduler):
+    """Linear warmup for ``warmup_epochs`` then delegate to ``inner``."""
+
+    def __init__(self, inner: _Scheduler, warmup_epochs: int) -> None:
+        super().__init__(inner.optimizer)
+        if warmup_epochs < 0:
+            raise ValueError(f"warmup_epochs must be >= 0, got {warmup_epochs}")
+        self.inner = inner
+        self.warmup_epochs = warmup_epochs
+
+    def _rate(self, epoch: int) -> float:
+        if epoch <= self.warmup_epochs and self.warmup_epochs > 0:
+            return self.base_lr * epoch / self.warmup_epochs
+        return self.inner._rate(epoch - self.warmup_epochs)

@@ -1,0 +1,577 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module is the computational substrate of the ATNN reproduction.  The
+paper's system was implemented in TensorFlow; since the reproduction must be
+self-contained, we provide a small but complete tape-based autograd engine.
+
+A :class:`Tensor` wraps a ``numpy.ndarray`` and records the operations that
+produced it.  Calling :meth:`Tensor.backward` walks the recorded graph in
+reverse topological order and accumulates gradients into every tensor that
+has ``requires_grad=True``.
+
+The engine supports full numpy broadcasting: gradients flowing back through a
+broadcast operation are summed over the broadcast axes so that each parent
+receives a gradient with exactly its own shape.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.nn.tensor import Tensor
+>>> w = Tensor(np.ones((2, 2)), requires_grad=True)
+>>> x = Tensor(np.array([[1.0, 2.0]]))
+>>> y = (x @ w).sum()
+>>> y.backward()
+>>> w.grad
+array([[1., 1.],
+       [2., 2.]])
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+ArrayLike = Union[np.ndarray, float, int, list, tuple]
+
+# Global autograd switch, toggled by the ``no_grad`` context manager.  When
+# disabled, operations still compute values but record no graph, which makes
+# inference-time scoring allocation-free apart from the numpy work itself.
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph recording.
+
+    Used by the trainers for evaluation passes and by the popularity service
+    for O(1) scoring where no gradients are ever needed.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+    """Coerce ``value`` to a float numpy array without copying when possible."""
+    if isinstance(value, np.ndarray):
+        if value.dtype == dtype:
+            return value
+        return value.astype(dtype)
+    return np.asarray(value, dtype=dtype)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it matches ``shape``.
+
+    numpy broadcasting may have expanded a parent tensor along leading axes
+    or along axes of size one; the chain rule requires summing the incoming
+    gradient over those expanded axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away leading axes that were added by broadcasting.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over axes that were size 1 in the original shape.
+    squeeze_axes = tuple(
+        axis for axis, size in enumerate(shape) if size == 1 and grad.shape[axis] != 1
+    )
+    if squeeze_axes:
+        grad = grad.sum(axis=squeeze_axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with reverse-mode autograd.
+
+    Parameters
+    ----------
+    data:
+        Array content; anything accepted by ``numpy.asarray``.
+    requires_grad:
+        If True, gradients are accumulated into :attr:`grad` during
+        :meth:`backward`.
+    name:
+        Optional human-readable label used in error messages and repr.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "name", "_backward_fn", "_parents")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self.name = name
+        self._backward_fn: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag}{label})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        if self.data.size != 1:
+            raise ValueError(f"item() requires a single-element tensor, got {self.shape}")
+        return float(self.data.reshape(-1)[0])
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing the data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward_fn: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create an op output, recording the graph only when needed."""
+        needs_grad = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=needs_grad)
+        if needs_grad:
+            out._parents = tuple(parents)
+            out._backward_fn = backward_fn
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into this tensor's gradient buffer."""
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.array(grad, copy=True)
+        else:
+            self.grad += grad
+
+    def zero_grad(self) -> None:
+        """Drop any accumulated gradient."""
+        self.grad = None
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.
+            Defaults to ones, which is only appropriate for scalars.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a scalar "
+                    f"tensor; got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match tensor shape {self.shape}"
+            )
+
+        order = self._topological_order()
+        grads = {id(self): grad}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            node._accumulate(node_grad)
+            if node._backward_fn is None:
+                continue
+            parent_grads = node._backward_fn(node_grad)
+            for parent, parent_grad in zip(node._parents, parent_grads):
+                if parent_grad is None or not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + parent_grad
+                else:
+                    grads[key] = parent_grad
+
+    def _topological_order(self) -> List["Tensor"]:
+        """Return nodes reachable from ``self`` in reverse topological order."""
+        order: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        order.reverse()
+        return order
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+
+        def backward(grad: np.ndarray):
+            return (_unbroadcast(grad, a.shape), _unbroadcast(grad, b.shape))
+
+        return Tensor._make(a.data + b.data, (a, b), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+
+        def backward(grad: np.ndarray):
+            return (_unbroadcast(grad, a.shape), _unbroadcast(-grad, b.shape))
+
+        return Tensor._make(a.data - b.data, (a, b), backward)
+
+    def __rsub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+
+        def backward(grad: np.ndarray):
+            return (
+                _unbroadcast(grad * b.data, a.shape),
+                _unbroadcast(grad * a.data, b.shape),
+            )
+
+        return Tensor._make(a.data * b.data, (a, b), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+
+        def backward(grad: np.ndarray):
+            return (
+                _unbroadcast(grad / b.data, a.shape),
+                _unbroadcast(-grad * a.data / (b.data * b.data), b.shape),
+            )
+
+        return Tensor._make(a.data / b.data, (a, b), backward)
+
+    def __rtruediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._coerce(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        a = self
+
+        def backward(grad: np.ndarray):
+            return (-grad,)
+
+        return Tensor._make(-a.data, (a,), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        a = self
+        value = a.data ** exponent
+
+        def backward(grad: np.ndarray):
+            return (grad * exponent * a.data ** (exponent - 1),)
+
+        return Tensor._make(value, (a,), backward)
+
+    # ------------------------------------------------------------------
+    # Matrix ops
+    # ------------------------------------------------------------------
+    def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+        if a.ndim != 2 or b.ndim != 2:
+            raise ValueError(
+                f"matmul expects 2-D operands, got {a.shape} @ {b.shape}"
+            )
+
+        def backward(grad: np.ndarray):
+            return (grad @ b.data.T, a.data.T @ grad)
+
+        return Tensor._make(a.data @ b.data, (a, b), backward)
+
+    def transpose(self) -> "Tensor":
+        """Transpose of a 2-D tensor."""
+        a = self
+        if a.ndim != 2:
+            raise ValueError(f"transpose expects a 2-D tensor, got {a.shape}")
+
+        def backward(grad: np.ndarray):
+            return (grad.T,)
+
+        return Tensor._make(a.data.T, (a,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        a = self
+        original = a.shape
+
+        def backward(grad: np.ndarray):
+            return (grad.reshape(original),)
+
+        return Tensor._make(a.data.reshape(shape), (a,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        a = self
+        value = a.data[index]
+
+        def backward(grad: np.ndarray):
+            full = np.zeros_like(a.data)
+            np.add.at(full, index, grad)
+            return (full,)
+
+        return Tensor._make(value, (a,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
+            keepdims: bool = False) -> "Tensor":
+        a = self
+        value = a.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray):
+            g = grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                for ax in sorted(ax % a.ndim for ax in axes):
+                    g = np.expand_dims(g, ax)
+            return (np.broadcast_to(g, a.shape).copy(),)
+
+        return Tensor._make(value, (a,), backward)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        """Maximum reduction; gradient flows to the (first) argmax entries."""
+        a = self
+        value = a.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray):
+            g = grad
+            expanded = value
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+                expanded = np.expand_dims(value, axis)
+            mask = a.data == expanded
+            # Split the gradient across ties to keep the map well-defined.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            return (mask * g / counts,)
+
+        return Tensor._make(value, (a,), backward)
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
+             keepdims: bool = False) -> "Tensor":
+        a = self
+        if axis is None:
+            count = a.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([a.shape[ax % a.ndim] for ax in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        a = self
+        value = np.exp(a.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * value,)
+
+        return Tensor._make(value, (a,), backward)
+
+    def log(self) -> "Tensor":
+        a = self
+
+        def backward(grad: np.ndarray):
+            return (grad / a.data,)
+
+        return Tensor._make(np.log(a.data), (a,), backward)
+
+    def sqrt(self) -> "Tensor":
+        a = self
+        value = np.sqrt(a.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * 0.5 / value,)
+
+        return Tensor._make(value, (a,), backward)
+
+    def tanh(self) -> "Tensor":
+        a = self
+        value = np.tanh(a.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * (1.0 - value * value),)
+
+        return Tensor._make(value, (a,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        a = self
+        # Numerically stable split over sign.
+        x = a.data
+        value = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.clip(x, 0, None))),
+                         np.exp(np.clip(x, None, 0)) / (1.0 + np.exp(np.clip(x, None, 0))))
+
+        def backward(grad: np.ndarray):
+            return (grad * value * (1.0 - value),)
+
+        return Tensor._make(value, (a,), backward)
+
+    def relu(self) -> "Tensor":
+        a = self
+        mask = a.data > 0
+
+        def backward(grad: np.ndarray):
+            return (grad * mask,)
+
+        return Tensor._make(a.data * mask, (a,), backward)
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        a = self
+        mask = a.data > 0
+        scale = np.where(mask, 1.0, negative_slope)
+
+        def backward(grad: np.ndarray):
+            return (grad * scale,)
+
+        return Tensor._make(a.data * scale, (a,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        a = self
+        mask = (a.data > low) & (a.data < high)
+
+        def backward(grad: np.ndarray):
+            return (grad * mask,)
+
+        return Tensor._make(np.clip(a.data, low, high), (a,), backward)
+
+    def abs(self) -> "Tensor":
+        a = self
+        sign = np.sign(a.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * sign,)
+
+        return Tensor._make(np.abs(a.data), (a,), backward)
+
+
+def concat(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = list(tensors)
+    if not tensors:
+        raise ValueError("concat expects at least one tensor")
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(grad: np.ndarray):
+        return tuple(np.split(grad, splits, axis=axis))
+
+    return Tensor._make(data, tensors, backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient support."""
+    tensors = list(tensors)
+    if not tensors:
+        raise ValueError("stack expects at least one tensor")
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray):
+        parts = np.split(grad, len(tensors), axis=axis)
+        return tuple(np.squeeze(p, axis=axis) for p in parts)
+
+    return Tensor._make(data, tensors, backward)
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``weight`` by integer ``indices``.
+
+    The backward pass scatters gradients with ``np.add.at`` so repeated
+    indices accumulate correctly — the behaviour embedding tables need.
+    """
+    indices = np.asarray(indices)
+    if indices.dtype.kind not in "iu":
+        raise TypeError(f"embedding indices must be integers, got {indices.dtype}")
+    if weight.ndim != 2:
+        raise ValueError(f"embedding weight must be 2-D, got {weight.shape}")
+    vocab = weight.shape[0]
+    if indices.size and (indices.min() < 0 or indices.max() >= vocab):
+        raise IndexError(
+            f"embedding index out of range [0, {vocab}): "
+            f"min={indices.min()}, max={indices.max()}"
+        )
+    value = weight.data[indices]
+
+    def backward(grad: np.ndarray):
+        full = np.zeros_like(weight.data)
+        np.add.at(full, indices, grad)
+        return (full,)
+
+    return Tensor._make(value, (weight,), backward)

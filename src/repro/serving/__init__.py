@@ -1,0 +1,15 @@
+"""Real-time serving simulation (the paper's Section IV-D deployment)."""
+
+from repro.serving.engine import EngineConfig, RealTimeEngine
+from repro.serving.events import Event, EventKind, generate_event_stream
+from repro.serving.feature_store import ItemCounters, ItemStatisticsStore
+
+__all__ = [
+    "EngineConfig",
+    "RealTimeEngine",
+    "Event",
+    "EventKind",
+    "generate_event_stream",
+    "ItemCounters",
+    "ItemStatisticsStore",
+]

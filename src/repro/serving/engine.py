@@ -1,0 +1,207 @@
+"""Real-time popularity engine (the paper's Section IV-D deployment).
+
+ATNN has been deployed on a real-time data engine since August 2019; the
+engine ingests live user behaviours, keeps item statistics fresh, and
+recomputes new-arrival popularity for two downstream applications:
+personalised search & recommendation, and smart selection of items for
+promotions.  :class:`RealTimeEngine` simulates that serving loop:
+
+* a catalogue of new arrivals enters with profiles only;
+* behaviour events stream into an :class:`ItemStatisticsStore`;
+* ``refresh()`` re-scores the catalogue — *cold* items through the
+  generator path against the stored mean user vector (O(1) per item),
+  *warm* items (enough traffic) through the statistics-aware encoder;
+* ``top_promotion_candidates`` serves the smart-selection application and
+  ``recommend_for_user`` the personalised one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.atnn import ATNN
+from repro.core.popularity import PopularityPredictor
+from repro.data.dataset import FeatureTable
+from repro.data.schema import GROUP_ITEM_PROFILE, GROUP_ITEM_STAT, GROUP_USER
+from repro.data.synthetic.common import sigmoid
+from repro.nn.tensor import no_grad
+from repro.serving.events import Event
+from repro.serving.feature_store import ItemStatisticsStore
+
+__all__ = ["EngineConfig", "RealTimeEngine"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Serving-loop knobs.
+
+    Attributes
+    ----------
+    warm_view_threshold:
+        Views required before an item switches from the generator path to
+        the statistics-aware encoder path.
+    batch_size:
+        Tower inference chunk size.
+    """
+
+    warm_view_threshold: int = 50
+    batch_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.warm_view_threshold < 1:
+            raise ValueError(
+                f"warm_view_threshold must be >= 1, got {self.warm_view_threshold}"
+            )
+
+
+class RealTimeEngine:
+    """Streaming popularity service over a new-arrival catalogue.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`~repro.core.atnn.ATNN`.
+    catalogue:
+        Feature table of the new arrivals being served (profile columns;
+        statistic columns, if present, are ignored in favour of the live
+        store).
+    user_group:
+        The active-user group whose mean vector anchors the O(1) scores.
+    config:
+        Serving knobs.
+    """
+
+    def __init__(
+        self,
+        model: ATNN,
+        catalogue: FeatureTable,
+        user_group: FeatureTable,
+        config: EngineConfig = EngineConfig(),
+    ) -> None:
+        self.model = model
+        self.catalogue = catalogue
+        self.config = config
+        self.store = ItemStatisticsStore(len(catalogue))
+        self.predictor = PopularityPredictor(model, batch_size=config.batch_size)
+        self.predictor.fit_user_group(user_group)
+        self._scores: Optional[np.ndarray] = None
+        self._events_seen = 0
+        self._refreshes = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, events: Sequence[Event]) -> int:
+        """Apply a batch of behaviour events; scores become stale."""
+        applied = self.store.ingest(events)
+        self._events_seen += applied
+        self._scores = None
+        return applied
+
+    @property
+    def events_seen(self) -> int:
+        """Total events ingested."""
+        return self._events_seen
+
+    @property
+    def refreshes(self) -> int:
+        """How many times popularity has been recomputed."""
+        return self._refreshes
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def _profile_features(self, slots: np.ndarray) -> Dict[str, np.ndarray]:
+        names = self.model.schema.all_column_names(GROUP_ITEM_PROFILE)
+        return {name: self.catalogue[name][slots] for name in names}
+
+    def refresh(self) -> np.ndarray:
+        """Recompute popularity for the whole catalogue.
+
+        Cold slots score through the generator (profiles + mean user
+        vector); warm slots additionally run the encoder with their live
+        statistics, which the paper's engine uses once behaviour data
+        accumulates.
+        """
+        n = len(self.catalogue)
+        slots = np.arange(n)
+        features = self._profile_features(slots)
+        # Statistic columns default to zero (cold) ...
+        for name in self.model.schema.numeric_names(GROUP_ITEM_STAT):
+            features[name] = np.zeros(n)
+
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            with no_grad():
+                item_vectors = self.model.generated_item_vectors(features).data
+                warm = self.store.warm_slots(self.config.warm_view_threshold)
+                if warm.size:
+                    # ... and warm slots get live statistics + encoder vectors.
+                    warm_features = self._profile_features(warm)
+                    warm_features.update(self.store.feature_columns(warm))
+                    item_vectors[warm] = self.model.encoded_item_vectors(
+                        warm_features
+                    ).data
+        finally:
+            self.model.train(was_training)
+
+        self._scores = self.predictor.score_item_vectors(item_vectors)
+        self._item_vectors = item_vectors
+        self._refreshes += 1
+        return self._scores
+
+    def scores(self) -> np.ndarray:
+        """Current popularity scores, refreshing lazily when stale."""
+        if self._scores is None:
+            self.refresh()
+        return self._scores
+
+    # ------------------------------------------------------------------
+    # Downstream applications
+    # ------------------------------------------------------------------
+    def top_promotion_candidates(self, k: int) -> np.ndarray:
+        """Smart selection: the k most popular catalogue slots."""
+        scores = self.scores()
+        if not 1 <= k <= scores.size:
+            raise ValueError(f"k must be in [1, {scores.size}], got {k}")
+        top = np.argpartition(scores, -k)[-k:]
+        return top[np.argsort(scores[top])[::-1]]
+
+    def recommend_for_user(
+        self, user_features: Dict[str, np.ndarray], k: int
+    ) -> np.ndarray:
+        """Personalised recommendation: top-k slots for one user.
+
+        Parameters
+        ----------
+        user_features:
+            Single-row feature dict for the user (each column length 1).
+        k:
+            Number of recommendations.
+        """
+        self.scores()  # ensure vectors are fresh
+        names = self.model.schema.all_column_names(GROUP_USER)
+        missing = [name for name in names if name not in user_features]
+        if missing:
+            raise KeyError(f"missing user features: {missing}")
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            with no_grad():
+                user_vector = self.model.user_vectors(
+                    {name: np.asarray(user_features[name])[:1] for name in names}
+                ).data[0]
+        finally:
+            self.model.train(was_training)
+        head = self.model.scoring_head
+        logits = self._item_vectors @ (head.weight.data * user_vector)
+        logits = logits + head.bias.data[0]
+        personal = sigmoid(logits)
+        if not 1 <= k <= personal.size:
+            raise ValueError(f"k must be in [1, {personal.size}], got {k}")
+        top = np.argpartition(personal, -k)[-k:]
+        return top[np.argsort(personal[top])[::-1]]

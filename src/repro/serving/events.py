@@ -1,0 +1,135 @@
+"""User-behaviour event model for the real-time serving simulation.
+
+The paper's deployment (Section IV-D) runs ATNN on a real-time data
+engine that "can obtain user behaviors, including clicking, adding to
+favorite, purchasing, etc.".  This module defines the event vocabulary and
+a generator that replays plausible event streams from a synthetic world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.synthetic.tmall import TmallWorld
+
+__all__ = ["EventKind", "Event", "generate_event_stream"]
+
+
+class EventKind:
+    """String constants for the supported behaviour events."""
+
+    VIEW = "view"
+    CLICK = "click"
+    CART = "cart"
+    FAVORITE = "favorite"
+    PURCHASE = "purchase"
+    RELEASE = "release"
+
+    ALL = (VIEW, CLICK, CART, FAVORITE, PURCHASE, RELEASE)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One behaviour event.
+
+    Attributes
+    ----------
+    kind:
+        One of :class:`EventKind`.
+    item_id:
+        Index of the item in the serving catalogue.
+    user_id:
+        Index of the acting user (None for RELEASE events).
+    timestamp:
+        Seconds since stream start (monotone within a stream).
+    """
+
+    kind: str
+    item_id: int
+    user_id: Optional[int]
+    timestamp: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in EventKind.ALL:
+            raise ValueError(
+                f"unknown event kind {self.kind!r}; expected one of {EventKind.ALL}"
+            )
+        if self.item_id < 0:
+            raise ValueError(f"item_id must be >= 0, got {self.item_id}")
+
+
+def generate_event_stream(
+    world: TmallWorld,
+    item_indices: Sequence[int],
+    n_events: int,
+    rng: np.random.Generator,
+    funnel_rates: Optional[dict] = None,
+) -> List[Event]:
+    """Replay a plausible behaviour stream over ``item_indices``.
+
+    Views arrive item-proportionally to ground-truth popularity; each view
+    spawns downstream funnel events (click → cart/favourite → purchase)
+    with popularity-scaled probabilities.
+
+    Parameters
+    ----------
+    world:
+        The synthetic world providing popularity ground truth.
+    item_indices:
+        Which new-arrival indices take part (events reference positions in
+        this sequence, i.e. catalogue slots).
+    n_events:
+        Number of *view* events to draw (funnel events come on top).
+    rng:
+        Generator controlling all draws.
+    funnel_rates:
+        Optional overrides for ``{"click", "cart", "favorite", "purchase"}``
+        base rates.
+    """
+    item_indices = np.asarray(item_indices)
+    if item_indices.ndim != 1 or item_indices.size == 0:
+        raise ValueError("item_indices must be a non-empty 1-D sequence")
+    if n_events <= 0:
+        raise ValueError(f"n_events must be positive, got {n_events}")
+
+    rates = {"click": 0.5, "cart": 0.25, "favorite": 0.2, "purchase": 0.12}
+    if funnel_rates:
+        rates.update(funnel_rates)
+
+    popularity = world.new_item_popularity[item_indices]
+    weights = (popularity + 0.02) / (popularity + 0.02).sum()
+
+    slots = rng.choice(item_indices.size, size=n_events, p=weights)
+    users = rng.choice(
+        world.config.n_users, size=n_events, p=world.user_activity
+    )
+    timestamps = np.sort(rng.uniform(0.0, 3600.0, size=n_events))
+
+    events: List[Event] = []
+    for position, user, timestamp in zip(slots, users, timestamps):
+        position = int(position)
+        catalogue_slot = int(item_indices[position])
+        user = int(user)
+        timestamp = float(timestamp)
+        events.append(Event(EventKind.VIEW, catalogue_slot, user, timestamp))
+        engagement = popularity[position]
+        if rng.random() < rates["click"] * (0.5 + engagement):
+            events.append(
+                Event(EventKind.CLICK, catalogue_slot, user, timestamp + 1.0)
+            )
+            if rng.random() < rates["cart"] * (0.5 + engagement):
+                events.append(
+                    Event(EventKind.CART, catalogue_slot, user, timestamp + 2.0)
+                )
+            if rng.random() < rates["favorite"] * (0.5 + engagement):
+                events.append(
+                    Event(EventKind.FAVORITE, catalogue_slot, user, timestamp + 2.0)
+                )
+            if rng.random() < rates["purchase"] * (0.5 + engagement):
+                events.append(
+                    Event(EventKind.PURCHASE, catalogue_slot, user, timestamp + 5.0)
+                )
+    return events

@@ -1,0 +1,148 @@
+"""Streaming item-statistics store.
+
+Accumulates behaviour counters per catalogue slot and materialises the
+``item_stat`` feature columns of the Tmall schema on demand, so the item
+encoder can score *warm* items with live statistics while brand-new items
+fall back to the generator path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.serving.events import Event, EventKind
+
+__all__ = ["ItemCounters", "ItemStatisticsStore"]
+
+
+@dataclass
+class ItemCounters:
+    """Raw behaviour counters for one catalogue slot."""
+
+    views: int = 0
+    clicks: int = 0
+    carts: int = 0
+    favorites: int = 0
+    purchases: int = 0
+    unique_users: set = field(default_factory=set)
+
+    def update(self, event: Event) -> None:
+        """Apply one event."""
+        if event.kind == EventKind.VIEW:
+            self.views += 1
+        elif event.kind == EventKind.CLICK:
+            self.clicks += 1
+        elif event.kind == EventKind.CART:
+            self.carts += 1
+        elif event.kind == EventKind.FAVORITE:
+            self.favorites += 1
+        elif event.kind == EventKind.PURCHASE:
+            self.purchases += 1
+        if event.user_id is not None:
+            self.unique_users.add(event.user_id)
+
+    @property
+    def ctr(self) -> float:
+        """Empirical click-through rate (0 when unseen)."""
+        return self.clicks / self.views if self.views else 0.0
+
+
+class ItemStatisticsStore:
+    """Per-slot counters plus schema-compatible statistic columns.
+
+    The store mirrors the eight ``stat_*`` columns of the Tmall schema.
+    Columns are standardised with a running mean/std over slots that have
+    traffic, so warm-item features live on the same scale the encoder was
+    trained on (standardised statistics).
+    """
+
+    STAT_COLUMNS = (
+        "stat_log_pv",
+        "stat_log_uv",
+        "stat_hist_ctr",
+        "stat_cart_rate",
+        "stat_fav_rate",
+        "stat_buy_rate",
+        "stat_seller_log_pv",
+        "stat_category_ctr",
+    )
+
+    def __init__(self, n_slots: int) -> None:
+        if n_slots <= 0:
+            raise ValueError(f"n_slots must be positive, got {n_slots}")
+        self.n_slots = n_slots
+        self._counters: List[ItemCounters] = [ItemCounters() for _ in range(n_slots)]
+
+    # ------------------------------------------------------------------
+    def ingest(self, events: Sequence[Event]) -> int:
+        """Apply a batch of events; returns how many were applied."""
+        applied = 0
+        for event in events:
+            if event.item_id >= self.n_slots:
+                raise IndexError(
+                    f"event references slot {event.item_id}, store has "
+                    f"{self.n_slots} slots"
+                )
+            self._counters[event.item_id].update(event)
+            applied += 1
+        return applied
+
+    def counters(self, slot: int) -> ItemCounters:
+        """Raw counters for one slot."""
+        return self._counters[slot]
+
+    def views(self) -> np.ndarray:
+        """View counts per slot."""
+        return np.array([c.views for c in self._counters], dtype=np.int64)
+
+    def warm_slots(self, min_views: int = 20) -> np.ndarray:
+        """Slots with enough traffic for statistics-based scoring."""
+        if min_views < 1:
+            raise ValueError(f"min_views must be >= 1, got {min_views}")
+        return np.flatnonzero(self.views() >= min_views)
+
+    # ------------------------------------------------------------------
+    def _raw_matrix(self) -> np.ndarray:
+        """Raw (pre-standardisation) statistic matrix, one row per slot."""
+        rows = np.zeros((self.n_slots, len(self.STAT_COLUMNS)))
+        all_ctr = [c.ctr for c in self._counters if c.views]
+        category_ctr = float(np.mean(all_ctr)) if all_ctr else 0.0
+        for slot, counter in enumerate(self._counters):
+            views = max(counter.views, 1)
+            rows[slot] = (
+                np.log1p(counter.views),
+                np.log1p(len(counter.unique_users)),
+                counter.ctr,
+                counter.carts / views,
+                counter.favorites / views,
+                counter.purchases / views,
+                np.log1p(counter.views),  # seller aggregate proxy
+                category_ctr,
+            )
+        return rows
+
+    def feature_columns(self, slots: Sequence[int]) -> Dict[str, np.ndarray]:
+        """Standardised statistic columns for the requested slots.
+
+        Standardisation statistics come from the currently warm slots; a
+        store with no traffic yields all-zero columns (the cold-start
+        convention of :func:`repro.data.cold_start.zero_statistics`).
+        """
+        slots = np.asarray(slots)
+        raw = self._raw_matrix()
+        trafficked = self.views() > 0
+        if trafficked.any():
+            mean = raw[trafficked].mean(axis=0)
+            std = raw[trafficked].std(axis=0)
+            std = np.where(std < 1e-12, 1.0, std)
+            standardised = (raw - mean) / std
+            standardised[~trafficked] = 0.0
+        else:
+            standardised = np.zeros_like(raw)
+        return {
+            name: standardised[slots, column]
+            for column, name in enumerate(self.STAT_COLUMNS)
+        }

@@ -1,0 +1,20 @@
+"""Shared utilities: RNG management, timing, tables, serialization."""
+
+from repro.utils.rng import derive_seed, make_rng, spawn
+from repro.utils.serialization import load_json, load_model, save_json, save_model
+from repro.utils.tabulate import format_table, format_value
+from repro.utils.timer import Timer, time_callable
+
+__all__ = [
+    "derive_seed",
+    "make_rng",
+    "spawn",
+    "load_json",
+    "load_model",
+    "save_json",
+    "save_model",
+    "format_table",
+    "format_value",
+    "Timer",
+    "time_callable",
+]

@@ -1,0 +1,67 @@
+"""Model and artifact (de)serialization.
+
+Model weights are stored as ``.npz`` archives of the flat state dict;
+experiment results are stored as JSON with numpy-aware encoding.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["save_model", "load_model", "save_json", "load_json"]
+
+PathLike = Union[str, Path]
+
+
+def save_model(module: Module, path: PathLike) -> None:
+    """Persist a module's weights to a ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    np.savez(path, **state)
+
+
+def load_model(module: Module, path: PathLike) -> None:
+    """Load weights saved by :func:`save_model` into ``module`` in place."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no model checkpoint at {path}")
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)
+
+
+class _NumpyEncoder(json.JSONEncoder):
+    """JSON encoder that understands numpy scalars and arrays."""
+
+    def default(self, obj: Any) -> Any:
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.bool_):
+            return bool(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        return super().default(obj)
+
+
+def save_json(data: Dict[str, Any], path: PathLike) -> None:
+    """Write a JSON document, creating parent directories as needed."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, cls=_NumpyEncoder)
+        handle.write("\n")
+
+
+def load_json(path: PathLike) -> Dict[str, Any]:
+    """Read a JSON document written by :func:`save_json`."""
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)

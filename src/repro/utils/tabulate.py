@@ -1,0 +1,72 @@
+"""Minimal ASCII table rendering for benchmark/experiment reports.
+
+The benchmark harness prints each reproduced table in the same row/column
+layout as the paper; this module renders those tables without external
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_value"]
+
+Cell = Union[str, float, int, None]
+
+
+def format_value(value: Cell, precision: int = 4) -> str:
+    """Render one cell: floats at fixed precision, None as a dash."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 4,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a boxed ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; each row must have ``len(headers)`` cells.
+    precision:
+        Decimal places used for floats.
+    title:
+        Optional title line printed above the table.
+    """
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = [format_value(cell, precision) for cell in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but there are {len(headers)} headers"
+            )
+        rendered.append(cells)
+
+    widths = [max(len(row[col]) for row in rendered) for col in range(len(headers))]
+    separator = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+
+    def render_row(cells: List[str]) -> str:
+        padded = [f" {cell.ljust(width)} " for cell, width in zip(cells, widths)]
+        return "|" + "|".join(padded) + "|"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(render_row(rendered[0]))
+    lines.append(separator)
+    for cells in rendered[1:]:
+        lines.append(render_row(cells))
+    lines.append(separator)
+    return "\n".join(lines)

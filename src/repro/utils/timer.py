@@ -1,0 +1,44 @@
+"""Wall-clock timing helpers for the complexity benchmarks."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["Timer", "time_callable"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    500500
+    >>> t.elapsed >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Return the minimum elapsed time of ``fn()`` over ``repeats`` runs."""
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -1,0 +1,59 @@
+"""Argument validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "require_positive",
+    "require_in_range",
+    "require_probability",
+    "require_same_length",
+    "as_1d_float",
+    "as_1d_int",
+]
+
+
+def require_positive(value: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+
+
+def require_probability(value: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is a valid probability."""
+    require_in_range(value, 0.0, 1.0, name)
+
+
+def require_same_length(a: Sequence, b: Sequence, names: str = "inputs") -> None:
+    """Raise ``ValueError`` unless two sequences have equal length."""
+    if len(a) != len(b):
+        raise ValueError(f"{names} must have equal length, got {len(a)} vs {len(b)}")
+
+
+def as_1d_float(values, name: str) -> np.ndarray:
+    """Coerce to a 1-D float array, raising a clear error on failure."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {array.shape}")
+    return array
+
+
+def as_1d_int(values, name: str) -> np.ndarray:
+    """Coerce to a 1-D integer array, raising a clear error on failure."""
+    array = np.asarray(values)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {array.shape}")
+    if array.dtype.kind not in "iu":
+        if not np.allclose(array, np.round(array)):
+            raise ValueError(f"{name} must contain integers")
+        array = array.astype(np.int64)
+    return array

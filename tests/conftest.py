@@ -1,0 +1,61 @@
+"""Shared fixtures for the ATNN reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TowerConfig
+from repro.data.synthetic import (
+    ElemeConfig,
+    TmallConfig,
+    generate_eleme_world,
+    generate_tmall_world,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_tmall_world():
+    """A very small Tmall world shared (read-only) across tests."""
+    return generate_tmall_world(
+        TmallConfig(
+            n_users=300,
+            n_items=400,
+            n_new_items=150,
+            n_interactions=8_000,
+            n_categories=8,
+            n_subcategories=16,
+            n_brands=40,
+            n_sellers=60,
+            seed=3,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_eleme_world():
+    """A very small Ele.me world shared (read-only) across tests."""
+    return generate_eleme_world(
+        ElemeConfig(
+            n_restaurants=300,
+            n_new_restaurants=120,
+            n_zones=10,
+            n_brands=30,
+            samples_per_restaurant=5,
+            seed=5,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_tower_config() -> TowerConfig:
+    """A tower small enough for per-test training."""
+    return TowerConfig(
+        vector_dim=8, deep_dims=(16, 8), head_dims=(16,), num_cross_layers=1
+    )

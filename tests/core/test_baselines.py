@@ -1,0 +1,198 @@
+"""Tests for the related-work CTR baseline family."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DeepFM,
+    FactorizationMachine,
+    LogisticRegressionCTR,
+    WideAndDeep,
+)
+from repro.data import train_test_split
+from repro.metrics import roc_auc
+from repro.nn import Tensor, check_gradients
+
+ALL_BASELINES = [
+    (LogisticRegressionCTR, {}),
+    (FactorizationMachine, {"factor_dim": 4}),
+    (WideAndDeep, {"hidden_dims": (16,), "embedding_dim": 4}),
+    (DeepFM, {"factor_dim": 4, "hidden_dims": (16,)}),
+]
+
+
+@pytest.fixture(scope="module")
+def split(tiny_tmall_world):
+    rng = np.random.default_rng(0)
+    train, test = train_test_split(tiny_tmall_world.interactions, 0.2, rng)
+    return train, test
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("cls,kwargs", ALL_BASELINES)
+    def test_probabilities_in_unit_interval(
+        self, cls, kwargs, tiny_tmall_world, split
+    ):
+        train, _ = split
+        model = cls(tiny_tmall_world.schema, rng=np.random.default_rng(1), **kwargs)
+        probabilities = model.predict_proba(
+            {name: col[:32] for name, col in train.features.items()}
+        )
+        assert probabilities.shape == (32,)
+        assert probabilities.min() > 0.0 and probabilities.max() < 1.0
+
+    @pytest.mark.parametrize("cls,kwargs", ALL_BASELINES)
+    def test_training_beats_chance(self, cls, kwargs, tiny_tmall_world, split):
+        train, test = split
+        model = cls(tiny_tmall_world.schema, rng=np.random.default_rng(1), **kwargs)
+        losses = model.fit(train, epochs=2, batch_size=256, lr=5e-3)
+        assert losses[-1] <= losses[0] + 0.02
+        auc = roc_auc(test.label("ctr"), model.predict_proba(test.features))
+        assert auc > 0.55
+
+    @pytest.mark.parametrize("cls,kwargs", ALL_BASELINES)
+    def test_batched_prediction_consistent(
+        self, cls, kwargs, tiny_tmall_world, split
+    ):
+        train, _ = split
+        model = cls(tiny_tmall_world.schema, rng=np.random.default_rng(1), **kwargs)
+        features = {name: col[:40] for name, col in train.features.items()}
+        np.testing.assert_allclose(
+            model.predict_proba(features, batch_size=40),
+            model.predict_proba(features, batch_size=7),
+        )
+
+
+class TestFTRLTraining:
+    def test_ftrl_path_learns(self, tiny_tmall_world, split):
+        train, test = split
+        model = LogisticRegressionCTR(
+            tiny_tmall_world.schema, rng=np.random.default_rng(1)
+        )
+        model.fit(train, epochs=3, batch_size=256, lr=0.5, optimizer="ftrl")
+        auc = roc_auc(test.label("ctr"), model.predict_proba(test.features))
+        assert auc > 0.55
+
+    def test_ftrl_l1_sparsifies_weights(self, tiny_tmall_world, split):
+        train, _ = split
+        dense = LogisticRegressionCTR(
+            tiny_tmall_world.schema, rng=np.random.default_rng(1)
+        )
+        sparse = LogisticRegressionCTR(
+            tiny_tmall_world.schema, rng=np.random.default_rng(1)
+        )
+        dense.fit(train, epochs=1, batch_size=256, lr=0.5, optimizer="ftrl")
+        sparse.fit(
+            train, epochs=1, batch_size=256, lr=0.5, optimizer="ftrl", l1=0.5
+        )
+
+        def zero_fraction(model):
+            weights = np.concatenate([p.data.reshape(-1) for p in model.parameters()])
+            return (weights == 0.0).mean()
+
+        assert zero_fraction(sparse) > zero_fraction(dense)
+
+    def test_unknown_optimizer_rejected(self, tiny_tmall_world, split):
+        train, _ = split
+        model = LogisticRegressionCTR(
+            tiny_tmall_world.schema, rng=np.random.default_rng(1)
+        )
+        with pytest.raises(ValueError):
+            model.fit(train, epochs=1, optimizer="sgd")
+
+
+class TestLogisticRegression:
+    def test_missing_numeric_rejected(self, tiny_tmall_world, split):
+        train, _ = split
+        model = LogisticRegressionCTR(
+            tiny_tmall_world.schema, rng=np.random.default_rng(1)
+        )
+        features = {name: col[:8] for name, col in train.features.items()}
+        del features["user_activity"]
+        with pytest.raises(KeyError):
+            model.predict_proba(features)
+
+    def test_group_restriction(self, tiny_tmall_world, split):
+        """A profile-only LR must ignore statistic columns entirely."""
+        train, _ = split
+        model = LogisticRegressionCTR(
+            tiny_tmall_world.schema,
+            groups=("user", "item_profile"),
+            rng=np.random.default_rng(1),
+        )
+        features = {name: col[:16] for name, col in train.features.items()}
+        base = model.predict_proba(features)
+        features["stat_log_pv"] = features["stat_log_pv"] + 100.0
+        np.testing.assert_allclose(model.predict_proba(features), base)
+
+
+class TestFactorizationMachine:
+    def test_interaction_term_matches_naive(self, tiny_tmall_world, split):
+        """The (sum^2 - sum-of-squares)/2 identity equals pairwise dots."""
+        train, _ = split
+        model = FactorizationMachine(
+            tiny_tmall_world.schema, factor_dim=3, rng=np.random.default_rng(1)
+        )
+        features = {name: col[:5] for name, col in train.features.items()}
+        fields = [f.data for f in model._field_vectors(features)]
+        expected = np.zeros(5)
+        for i in range(len(fields)):
+            for j in range(i + 1, len(fields)):
+                expected += np.einsum("bd,bd->b", fields[i], fields[j])
+        np.testing.assert_allclose(
+            model.interaction_term(features).data, expected, rtol=1e-8
+        )
+
+    def test_invalid_factor_dim_rejected(self, tiny_tmall_world):
+        with pytest.raises(ValueError):
+            FactorizationMachine(tiny_tmall_world.schema, factor_dim=0)
+
+    def test_gradients_flow_to_factors(self, tiny_tmall_world, split):
+        train, _ = split
+        model = FactorizationMachine(
+            tiny_tmall_world.schema, factor_dim=2, rng=np.random.default_rng(1)
+        )
+        features = {name: col[:4] for name, col in train.features.items()}
+        loss = model.interaction_term(features).sum()
+        loss.backward()
+        table = getattr(model, "v_item_brand")
+        assert table.weight.grad is not None
+
+
+class TestDeepModels:
+    def test_wide_and_deep_sums_two_logits(self, tiny_tmall_world, split):
+        train, _ = split
+        model = WideAndDeep(
+            tiny_tmall_world.schema, hidden_dims=(8,), embedding_dim=3,
+            rng=np.random.default_rng(1),
+        )
+        features = {name: col[:6] for name, col in train.features.items()}
+        total = model.logits(features).data
+        wide = model.wide.logits(features).data
+        deep = model._deep_logits(features).data
+        np.testing.assert_allclose(total, wide + deep)
+
+    def test_deepfm_shares_embeddings_with_fm(self, tiny_tmall_world):
+        model = DeepFM(
+            tiny_tmall_world.schema, factor_dim=3, rng=np.random.default_rng(1)
+        )
+        # Exactly one factor table per categorical feature across FM + deep.
+        fm_tables = [
+            getattr(model.fm, f"v_{f.name}") for f in model.categorical_features
+        ]
+        all_params = model.parameters()
+        for table in fm_tables:
+            assert sum(1 for p in all_params if p is table.weight) == 1
+
+    def test_deepfm_logits_sum_fm_and_deep(self, tiny_tmall_world, split):
+        train, _ = split
+        model = DeepFM(
+            tiny_tmall_world.schema, factor_dim=3, hidden_dims=(8,),
+            rng=np.random.default_rng(1),
+        )
+        features = {name: col[:6] for name, col in train.features.items()}
+        total = model.logits(features).data
+        np.testing.assert_allclose(
+            total,
+            model.fm.logits(features).data + model._deep_logits(features).data,
+        )

@@ -1,0 +1,158 @@
+"""TwoTowerModel, ATNN and MultiTaskATNN model-level tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import ATNN, MultiTaskATNN, TowerConfig, TwoTowerModel
+from repro.data import GROUP_ITEM_PROFILE, zero_statistics
+
+
+def _interaction_features(world, n=16):
+    return {name: col[:n] for name, col in world.interactions.features.items()}
+
+
+def _eleme_features(world, n=16):
+    return {name: col[:n] for name, col in world.samples.features.items()}
+
+
+class TestTwoTowerModel:
+    def test_forward_probabilities(self, tiny_tmall_world, tiny_tower_config, rng):
+        model = TwoTowerModel(tiny_tmall_world.schema, tiny_tower_config, rng=rng)
+        out = model(_interaction_features(tiny_tmall_world))
+        assert out.shape == (16,)
+        assert out.data.min() > 0.0 and out.data.max() < 1.0
+
+    def test_predict_proba_batching_consistent(
+        self, tiny_tmall_world, tiny_tower_config, rng
+    ):
+        model = TwoTowerModel(tiny_tmall_world.schema, tiny_tower_config, rng=rng)
+        features = _interaction_features(tiny_tmall_world, n=50)
+        full = model.predict_proba(features, batch_size=50)
+        chunked = model.predict_proba(features, batch_size=7)
+        np.testing.assert_allclose(full, chunked)
+
+    def test_predict_proba_restores_training_mode(
+        self, tiny_tmall_world, tiny_tower_config, rng
+    ):
+        model = TwoTowerModel(tiny_tmall_world.schema, tiny_tower_config, rng=rng)
+        model.train()
+        model.predict_proba(_interaction_features(tiny_tmall_world))
+        assert model.training
+
+    def test_vectors_have_configured_dim(
+        self, tiny_tmall_world, tiny_tower_config, rng
+    ):
+        model = TwoTowerModel(tiny_tmall_world.schema, tiny_tower_config, rng=rng)
+        features = _interaction_features(tiny_tmall_world)
+        assert model.item_vectors(features).shape == (16, 8)
+        assert model.user_vectors(features).shape == (16, 8)
+
+
+class TestATNN:
+    def test_both_paths_produce_probabilities(
+        self, tiny_tmall_world, tiny_tower_config, rng
+    ):
+        model = ATNN(tiny_tmall_world.schema, tiny_tower_config, rng=rng)
+        features = _interaction_features(tiny_tmall_world)
+        encoder = model.predict_proba(features)
+        generator = model.predict_proba_cold_start(features)
+        assert encoder.shape == generator.shape == (16,)
+        assert not np.allclose(encoder, generator)
+
+    def test_generator_ignores_statistics(
+        self, tiny_tmall_world, tiny_tower_config, rng
+    ):
+        """The cold-start path must be invariant to the statistics columns."""
+        model = ATNN(tiny_tmall_world.schema, tiny_tower_config, rng=rng)
+        features = _interaction_features(tiny_tmall_world)
+        cold = zero_statistics(tiny_tmall_world.schema, features)
+        np.testing.assert_allclose(
+            model.predict_proba_cold_start(features),
+            model.predict_proba_cold_start(cold),
+        )
+
+    def test_encoder_sensitive_to_statistics(
+        self, tiny_tmall_world, tiny_tower_config, rng
+    ):
+        model = ATNN(tiny_tmall_world.schema, tiny_tower_config, rng=rng)
+        features = _interaction_features(tiny_tmall_world)
+        cold = zero_statistics(tiny_tmall_world.schema, features)
+        assert not np.allclose(
+            model.predict_proba(features), model.predict_proba(cold)
+        )
+
+    def test_shared_embeddings_same_parameters(
+        self, tiny_tmall_world, tiny_tower_config, rng
+    ):
+        model = ATNN(
+            tiny_tmall_world.schema, tiny_tower_config,
+            share_embeddings=True, rng=rng,
+        )
+        assert model.generator.embeddings is model.item_encoder.embeddings
+
+    def test_separate_embeddings_distinct_parameters(
+        self, tiny_tmall_world, tiny_tower_config, rng
+    ):
+        model = ATNN(
+            tiny_tmall_world.schema, tiny_tower_config,
+            share_embeddings=False, rng=rng,
+        )
+        assert model.generator.embeddings is not model.item_encoder.embeddings
+
+    def test_shared_embeddings_reduce_parameter_count(
+        self, tiny_tmall_world, tiny_tower_config, rng
+    ):
+        shared = ATNN(
+            tiny_tmall_world.schema, tiny_tower_config,
+            share_embeddings=True, rng=rng,
+        )
+        separate = ATNN(
+            tiny_tmall_world.schema, tiny_tower_config,
+            share_embeddings=False, rng=rng,
+        )
+        assert shared.num_parameters() < separate.num_parameters()
+
+    def test_state_dict_roundtrip(self, tiny_tmall_world, tiny_tower_config, rng):
+        model = ATNN(tiny_tmall_world.schema, tiny_tower_config, rng=rng)
+        other = ATNN(
+            tiny_tmall_world.schema, tiny_tower_config,
+            rng=np.random.default_rng(777),
+        )
+        other.load_state_dict(model.state_dict())
+        features = _interaction_features(tiny_tmall_world)
+        np.testing.assert_allclose(
+            model.predict_proba(features), other.predict_proba(features)
+        )
+
+
+class TestMultiTaskATNN:
+    def test_two_tasks_differ(self, tiny_eleme_world, tiny_tower_config, rng):
+        model = MultiTaskATNN(tiny_eleme_world.schema, tiny_tower_config, rng=rng)
+        features = _eleme_features(tiny_eleme_world)
+        vppv = model.predict(features, "vppv")
+        gmv = model.predict(features, "gmv")
+        assert vppv.shape == gmv.shape == (16,)
+        assert not np.allclose(vppv, gmv)
+
+    def test_unknown_task_rejected(self, tiny_eleme_world, tiny_tower_config, rng):
+        model = MultiTaskATNN(tiny_eleme_world.schema, tiny_tower_config, rng=rng)
+        with pytest.raises(ValueError):
+            model.predict(_eleme_features(tiny_eleme_world), "ctr")
+
+    def test_cold_start_path_ignores_statistics(
+        self, tiny_eleme_world, tiny_tower_config, rng
+    ):
+        model = MultiTaskATNN(tiny_eleme_world.schema, tiny_tower_config, rng=rng)
+        features = _eleme_features(tiny_eleme_world)
+        cold = zero_statistics(tiny_eleme_world.schema, features)
+        np.testing.assert_allclose(
+            model.predict(features, "gmv", cold_start=True),
+            model.predict(cold, "gmv", cold_start=True),
+        )
+
+    def test_shared_embeddings(self, tiny_eleme_world, tiny_tower_config, rng):
+        model = MultiTaskATNN(
+            tiny_eleme_world.schema, tiny_tower_config,
+            share_embeddings=True, rng=rng,
+        )
+        assert model.generator.embeddings is model.item_encoder.embeddings

@@ -1,0 +1,146 @@
+"""Popularity service (O(1) scoring) and A/B-test simulator tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ATNN,
+    ExpertConfig,
+    ExpertSelector,
+    PopularityPredictor,
+    TowerConfig,
+    TwoTowerModel,
+    first_k_transaction_time,
+    select_top_k,
+)
+from repro.metrics import rank_correlation
+
+
+@pytest.fixture
+def atnn_model(tiny_tmall_world, tiny_tower_config):
+    return ATNN(
+        tiny_tmall_world.schema, tiny_tower_config, rng=np.random.default_rng(4)
+    )
+
+
+class TestPopularityPredictor:
+    def test_scoring_before_fit_rejected(self, tiny_tmall_world, atnn_model):
+        predictor = PopularityPredictor(atnn_model)
+        with pytest.raises(RuntimeError):
+            predictor.score_items(tiny_tmall_world.new_items)
+
+    def test_mean_vector_shape(self, tiny_tmall_world, atnn_model):
+        predictor = PopularityPredictor(atnn_model)
+        mean = predictor.fit_user_group(tiny_tmall_world.active_user_group(0.2))
+        assert mean.shape == (atnn_model.config.vector_dim,)
+
+    def test_scores_are_probabilities(self, tiny_tmall_world, atnn_model):
+        predictor = PopularityPredictor(atnn_model)
+        predictor.fit_user_group(tiny_tmall_world.active_user_group(0.2))
+        scores = predictor.score_items(tiny_tmall_world.new_items)
+        assert scores.shape == (len(tiny_tmall_world.new_items),)
+        assert scores.min() > 0.0 and scores.max() < 1.0
+
+    def test_exact_requires_individual_vectors(self, tiny_tmall_world, atnn_model):
+        predictor = PopularityPredictor(atnn_model)
+        predictor.fit_user_group(tiny_tmall_world.active_user_group(0.2))
+        with pytest.raises(RuntimeError):
+            predictor.score_items_exact(tiny_tmall_world.new_items)
+
+    def test_mean_vector_ranking_agrees_with_exact(
+        self, tiny_tmall_world, atnn_model
+    ):
+        """The core O(1) approximation claim: same ranking as pairwise mean."""
+        predictor = PopularityPredictor(atnn_model)
+        predictor.fit_user_group(
+            tiny_tmall_world.active_user_group(0.2), keep_individual=True
+        )
+        subset = tiny_tmall_world.new_items.subset(np.arange(60))
+        fast = predictor.score_items(subset)
+        exact = predictor.score_items_exact(subset)
+        assert rank_correlation(fast, exact) > 0.9
+
+    def test_score_item_vectors_kernel_matches_score_items(
+        self, tiny_tmall_world, atnn_model
+    ):
+        predictor = PopularityPredictor(atnn_model)
+        predictor.fit_user_group(tiny_tmall_world.active_user_group(0.2))
+        items = tiny_tmall_world.new_items.subset(np.arange(10))
+        via_table = predictor.score_items(items)
+        vectors = predictor._encode_items(items)
+        via_vectors = predictor.score_item_vectors(vectors)
+        np.testing.assert_allclose(via_table, via_vectors)
+
+    def test_works_with_plain_two_tower(self, tiny_tmall_world, tiny_tower_config):
+        model = TwoTowerModel(
+            tiny_tmall_world.schema,
+            tiny_tower_config,
+            item_groups=("item_profile",),
+            rng=np.random.default_rng(0),
+        )
+        predictor = PopularityPredictor(model)
+        predictor.fit_user_group(tiny_tmall_world.active_user_group(0.2))
+        scores = predictor.score_items(tiny_tmall_world.new_items)
+        assert np.isfinite(scores).all()
+
+
+class TestExpertSelector:
+    def test_uses_available_features(self, tiny_tmall_world, rng):
+        expert = ExpertSelector()
+        scores = expert.score(tiny_tmall_world.new_items, rng)
+        assert scores.shape == (len(tiny_tmall_world.new_items),)
+
+    def test_insight_improves_alignment(self, tiny_tmall_world):
+        world = tiny_tmall_world
+        expert = ExpertSelector(ExpertConfig(judgement_noise=0.3))
+        blind = expert.score(world.new_items, np.random.default_rng(0))
+        informed = expert.score(
+            world.new_items,
+            np.random.default_rng(0),
+            insight=world.new_item_quality,
+        )
+        blind_corr = np.corrcoef(blind, world.new_item_quality)[0, 1]
+        informed_corr = np.corrcoef(informed, world.new_item_quality)[0, 1]
+        assert informed_corr > blind_corr
+
+    def test_insight_shape_checked(self, tiny_tmall_world, rng):
+        expert = ExpertSelector()
+        with pytest.raises(ValueError):
+            expert.score(tiny_tmall_world.new_items, rng, insight=np.zeros(3))
+
+    def test_no_features_no_insight_rejected(self, tiny_eleme_world, rng):
+        expert = ExpertSelector(ExpertConfig(feature_weights={"nope": 1.0}))
+        with pytest.raises(ValueError):
+            expert.score(tiny_eleme_world.new_restaurants, rng)
+
+    def test_noise_zero_deterministic_given_rng(self, tiny_tmall_world):
+        expert = ExpertSelector(ExpertConfig(judgement_noise=0.0))
+        a = expert.score(tiny_tmall_world.new_items, np.random.default_rng(0))
+        b = expert.score(tiny_tmall_world.new_items, np.random.default_rng(1))
+        np.testing.assert_allclose(a, b)
+
+    def test_invalid_noise_rejected(self):
+        with pytest.raises(ValueError):
+            ExpertConfig(judgement_noise=-1.0)
+
+
+class TestSelectionHelpers:
+    def test_select_top_k_descending(self):
+        scores = np.array([0.1, 0.9, 0.5, 0.7])
+        np.testing.assert_array_equal(select_top_k(scores, 2), [1, 3])
+
+    def test_select_top_k_bounds(self):
+        with pytest.raises(ValueError):
+            select_top_k(np.array([1.0]), 2)
+        with pytest.raises(ValueError):
+            select_top_k(np.array([1.0, 2.0]), 0)
+
+    def test_first_k_time_censors_at_horizon(self):
+        days = np.array([3, 10, 31])  # 31 means "never within horizon 30"
+        assert first_k_transaction_time(days, 30) == pytest.approx((3 + 10 + 30) / 3)
+
+    def test_first_k_time_validation(self):
+        with pytest.raises(ValueError):
+            first_k_transaction_time(np.zeros((2, 2)), 30)
+        with pytest.raises(ValueError):
+            first_k_transaction_time(np.array([1.0]), 0)

@@ -1,0 +1,70 @@
+"""Additional popularity-service edge cases and consistency checks."""
+
+import numpy as np
+import pytest
+
+from repro.core import ATNN, PopularityPredictor, TowerConfig
+
+
+@pytest.fixture(scope="module")
+def fitted_predictor(tiny_tmall_world, tiny_tower_config):
+    model = ATNN(
+        tiny_tmall_world.schema, tiny_tower_config, rng=np.random.default_rng(8)
+    )
+    predictor = PopularityPredictor(model, batch_size=64)
+    predictor.fit_user_group(tiny_tmall_world.active_user_group(0.3))
+    return predictor
+
+
+class TestConsistency:
+    def test_batch_size_invariance(self, tiny_tmall_world, tiny_tower_config):
+        """Chunked encoding must produce identical scores."""
+        model = ATNN(
+            tiny_tmall_world.schema, tiny_tower_config, rng=np.random.default_rng(8)
+        )
+        small = PopularityPredictor(model, batch_size=17)
+        large = PopularityPredictor(model, batch_size=4096)
+        group = tiny_tmall_world.active_user_group(0.3)
+        small.fit_user_group(group)
+        large.fit_user_group(group)
+        np.testing.assert_allclose(
+            small.score_items(tiny_tmall_world.new_items),
+            large.score_items(tiny_tmall_world.new_items),
+        )
+
+    def test_scores_deterministic(self, fitted_predictor, tiny_tmall_world):
+        a = fitted_predictor.score_items(tiny_tmall_world.new_items)
+        b = fitted_predictor.score_items(tiny_tmall_world.new_items)
+        np.testing.assert_allclose(a, b)
+
+    def test_refit_changes_with_group(self, tiny_tmall_world, tiny_tower_config):
+        model = ATNN(
+            tiny_tmall_world.schema, tiny_tower_config, rng=np.random.default_rng(8)
+        )
+        predictor = PopularityPredictor(model)
+        small_group = predictor.fit_user_group(
+            tiny_tmall_world.active_user_group(0.05)
+        ).copy()
+        big_group = predictor.fit_user_group(tiny_tmall_world.active_user_group(0.9))
+        assert not np.allclose(small_group, big_group)
+
+    def test_model_left_in_prior_mode(self, fitted_predictor, tiny_tmall_world):
+        fitted_predictor.model.train()
+        fitted_predictor.score_items(tiny_tmall_world.new_items)
+        assert fitted_predictor.model.training
+
+    def test_single_user_group(self, tiny_tmall_world, tiny_tower_config):
+        model = ATNN(
+            tiny_tmall_world.schema, tiny_tower_config, rng=np.random.default_rng(8)
+        )
+        predictor = PopularityPredictor(model)
+        one_user = tiny_tmall_world.users.subset(np.array([0]))
+        mean = predictor.fit_user_group(one_user, keep_individual=True)
+        # With one user the mean IS the user; fast and exact paths agree.
+        items = tiny_tmall_world.new_items.subset(np.arange(10))
+        np.testing.assert_allclose(
+            predictor.score_items(items),
+            predictor.score_items_exact(items),
+            rtol=1e-10,
+        )
+        assert mean.shape == (model.config.vector_dim,)

@@ -1,0 +1,118 @@
+"""Model registry and Figure-2 standard DNN tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ATNN,
+    MultiTaskATNN,
+    StandardDNN,
+    TowerConfig,
+    TwoTowerModel,
+    available_models,
+    build_model,
+)
+from repro.data import train_test_split
+from repro.metrics import roc_auc
+from repro.nn.layers import MLP
+from repro.nn.losses import binary_cross_entropy
+from repro.nn.optim import Adam
+
+
+class TestRegistry:
+    def test_all_names_buildable(self, tiny_tmall_world, tiny_tower_config):
+        for name in available_models():
+            if name == "multitask-atnn":
+                continue  # needs the Ele.me schema's group features
+            model = build_model(
+                name,
+                tiny_tmall_world.schema,
+                tiny_tower_config,
+                rng=np.random.default_rng(0),
+            )
+            assert model is not None
+
+    def test_multitask_built_on_eleme_schema(
+        self, tiny_eleme_world, tiny_tower_config
+    ):
+        model = build_model(
+            "multitask-atnn",
+            tiny_eleme_world.schema,
+            tiny_tower_config,
+            rng=np.random.default_rng(0),
+        )
+        assert isinstance(model, MultiTaskATNN)
+
+    def test_types(self, tiny_tmall_world, tiny_tower_config):
+        rng = np.random.default_rng(0)
+        assert isinstance(
+            build_model("atnn", tiny_tmall_world.schema, tiny_tower_config, rng), ATNN
+        )
+        assert isinstance(
+            build_model("tnn-dcn", tiny_tmall_world.schema, tiny_tower_config, rng),
+            TwoTowerModel,
+        )
+        assert isinstance(
+            build_model("standard-dnn", tiny_tmall_world.schema, tiny_tower_config, rng),
+            StandardDNN,
+        )
+
+    def test_tnn_fc_has_no_cross_layers(self, tiny_tmall_world, tiny_tower_config):
+        model = build_model(
+            "tnn-fc", tiny_tmall_world.schema, tiny_tower_config,
+            np.random.default_rng(0),
+        )
+        assert isinstance(model.item_tower.encoder, MLP)
+
+    def test_case_insensitive(self, tiny_tmall_world, tiny_tower_config):
+        model = build_model(
+            "ATNN", tiny_tmall_world.schema, tiny_tower_config,
+            np.random.default_rng(0),
+        )
+        assert isinstance(model, ATNN)
+
+    def test_unknown_rejected(self, tiny_tmall_world):
+        with pytest.raises(ValueError):
+            build_model("transformer", tiny_tmall_world.schema)
+
+
+class TestStandardDNN:
+    def test_probabilities(self, tiny_tmall_world, rng):
+        model = StandardDNN(tiny_tmall_world.schema, hidden_dims=(16,), rng=rng)
+        features = {
+            name: col[:12]
+            for name, col in tiny_tmall_world.interactions.features.items()
+        }
+        out = model(features)
+        assert out.shape == (12,)
+        assert out.data.min() > 0 and out.data.max() < 1
+
+    def test_trains_above_chance(self, tiny_tmall_world):
+        train, test = train_test_split(
+            tiny_tmall_world.interactions, 0.2, np.random.default_rng(0)
+        )
+        train = train.subset(np.arange(3000))
+        model = StandardDNN(
+            tiny_tmall_world.schema, hidden_dims=(32, 16),
+            rng=np.random.default_rng(1),
+        )
+        optimizer = Adam(model.parameters(), lr=3e-3)
+        rng = np.random.default_rng(2)
+        for _ in range(2):
+            for batch in train.iter_batches(256, rng=rng):
+                optimizer.zero_grad()
+                loss = binary_cross_entropy(model(batch.features), batch.label("ctr"))
+                loss.backward()
+                optimizer.step()
+        auc = roc_auc(test.label("ctr"), model.predict_proba(test.features))
+        assert auc > 0.55
+
+    def test_missing_numeric_rejected(self, tiny_tmall_world, rng):
+        model = StandardDNN(tiny_tmall_world.schema, hidden_dims=(8,), rng=rng)
+        features = {
+            name: col[:4]
+            for name, col in tiny_tmall_world.interactions.features.items()
+        }
+        del features["stat_log_pv"]
+        with pytest.raises(KeyError):
+            model(features)

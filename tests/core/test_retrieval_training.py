@@ -1,0 +1,168 @@
+"""Retrieval-training tests: in-batch softmax fit + corpus recall."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RetrievalTrainer,
+    TowerConfig,
+    TwoTowerModel,
+    recall_against_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def retrieval_setup(tiny_tmall_world):
+    """Held-out positive pairs plus a training set excluding them."""
+    world = tiny_tmall_world
+    labels = world.interactions.label("ctr")
+    positives = np.flatnonzero(labels == 1.0)
+    holdout = positives[-300:]
+    train_rows = np.setdiff1d(np.arange(len(world.interactions)), holdout)
+    train = world.interactions.subset(train_rows)
+    train_items = world.interaction_item_indices[train_rows]
+    user_rows = {
+        name: world.interactions.features[name][holdout]
+        for name in world.schema.all_column_names("user")
+    }
+    true_items = world.interaction_item_indices[holdout]
+    return world, train, train_items, user_rows, true_items
+
+
+class TestRetrievalTrainer:
+    def test_loss_decreases(self, tiny_tmall_world, tiny_tower_config):
+        model = TwoTowerModel(
+            tiny_tmall_world.schema, tiny_tower_config,
+            rng=np.random.default_rng(1),
+        )
+        trainer = RetrievalTrainer(
+            temperature=0.2, epochs=3, batch_size=128, lr=3e-3
+        )
+        history = trainer.fit(model, tiny_tmall_world.interactions)
+        losses = history.series("loss")
+        assert losses[-1] < losses[0]
+
+    @pytest.fixture(scope="class")
+    def trained_model(self, retrieval_setup, tiny_tower_config):
+        """Trained with the Yi et al. sampling-bias correction."""
+        world, train, train_items, _, _ = retrieval_setup
+        model = TwoTowerModel(
+            world.schema, tiny_tower_config, rng=np.random.default_rng(1)
+        )
+        RetrievalTrainer(temperature=0.2, epochs=6, batch_size=128, lr=3e-3).fit(
+            model, train, item_indices=train_items
+        )
+        return model
+
+    def test_training_beats_untrained_recall(
+        self, retrieval_setup, tiny_tower_config, trained_model
+    ):
+        world, _, _, user_rows, true_items = retrieval_setup
+        untrained = TwoTowerModel(
+            world.schema, tiny_tower_config, rng=np.random.default_rng(1)
+        )
+        base = recall_against_corpus(
+            untrained, user_rows, true_items, world.items, k=40
+        )
+        better = recall_against_corpus(
+            trained_model, user_rows, true_items, world.items, k=40
+        )
+        assert better > base
+
+    def test_trained_recall_beats_chance(self, retrieval_setup, trained_model):
+        world, _, _, user_rows, true_items = retrieval_setup
+        k = 40
+        recall = recall_against_corpus(
+            trained_model, user_rows, true_items, world.items, k=k
+        )
+        chance = k / len(world.items)
+        assert recall > 1.4 * chance
+
+    def test_bias_correction_improves_recall(
+        self, retrieval_setup, tiny_tower_config, trained_model
+    ):
+        """The log-frequency correction must beat the uncorrected loss —
+        popular items are otherwise over-penalised as in-batch negatives
+        (the effect Yi et al. correct)."""
+        world, train, _, user_rows, true_items = retrieval_setup
+        uncorrected = TwoTowerModel(
+            world.schema, tiny_tower_config, rng=np.random.default_rng(1)
+        )
+        RetrievalTrainer(temperature=0.2, epochs=6, batch_size=128, lr=3e-3).fit(
+            uncorrected, train
+        )
+        base = recall_against_corpus(
+            uncorrected, user_rows, true_items, world.items, k=40
+        )
+        corrected = recall_against_corpus(
+            trained_model, user_rows, true_items, world.items, k=40
+        )
+        assert corrected > base
+
+    def test_misaligned_item_indices_rejected(
+        self, retrieval_setup, tiny_tower_config
+    ):
+        world, train, train_items, _, _ = retrieval_setup
+        model = TwoTowerModel(
+            world.schema, tiny_tower_config, rng=np.random.default_rng(1)
+        )
+        with pytest.raises(ValueError):
+            RetrievalTrainer(epochs=1).fit(
+                model, train, item_indices=train_items[:-1]
+            )
+
+    def test_invalid_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            RetrievalTrainer(temperature=0.0)
+
+    def test_too_few_positives_rejected(self, tiny_tmall_world, tiny_tower_config):
+        model = TwoTowerModel(
+            tiny_tmall_world.schema, tiny_tower_config,
+            rng=np.random.default_rng(1),
+        )
+        # A dataset slice with (almost surely) a single positive row.
+        labels = tiny_tmall_world.interactions.label("ctr")
+        one_positive = np.flatnonzero(labels == 1.0)[:1]
+        one_negative = np.flatnonzero(labels == 0.0)[:5]
+        subset = tiny_tmall_world.interactions.subset(
+            np.concatenate([one_positive, one_negative])
+        )
+        with pytest.raises(ValueError):
+            RetrievalTrainer(epochs=1).fit(model, subset)
+
+
+class TestRecallEvaluation:
+    def test_validation(self, retrieval_setup, tiny_tower_config):
+        world, _, _, user_rows, true_items = retrieval_setup
+        model = TwoTowerModel(
+            world.schema, tiny_tower_config, rng=np.random.default_rng(1)
+        )
+        with pytest.raises(ValueError):
+            recall_against_corpus(model, user_rows, true_items[:-1], world.items, k=5)
+        with pytest.raises(ValueError):
+            recall_against_corpus(
+                model, user_rows, true_items, world.items, k=len(world.items) + 1
+            )
+
+    def test_recall_monotone_in_k(self, retrieval_setup, tiny_tower_config):
+        world, _, _, user_rows, true_items = retrieval_setup
+        model = TwoTowerModel(
+            world.schema, tiny_tower_config, rng=np.random.default_rng(1)
+        )
+        recall_small = recall_against_corpus(
+            model, user_rows, true_items, world.items, k=10
+        )
+        recall_large = recall_against_corpus(
+            model, user_rows, true_items, world.items, k=100
+        )
+        assert recall_large >= recall_small
+
+    def test_full_corpus_recall_is_one(self, retrieval_setup, tiny_tower_config):
+        world, _, _, user_rows, true_items = retrieval_setup
+        model = TwoTowerModel(
+            world.schema, tiny_tower_config, rng=np.random.default_rng(1)
+        )
+        recall = recall_against_corpus(
+            model, user_rows, true_items, world.items, k=len(world.items)
+        )
+        assert recall == 1.0

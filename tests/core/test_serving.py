@@ -1,0 +1,201 @@
+"""Tests for the real-time serving simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core import ATNN, TowerConfig
+from repro.serving import (
+    EngineConfig,
+    Event,
+    EventKind,
+    ItemStatisticsStore,
+    RealTimeEngine,
+    generate_event_stream,
+)
+
+
+@pytest.fixture(scope="module")
+def serving_model(tiny_tmall_world):
+    return ATNN(
+        tiny_tmall_world.schema,
+        TowerConfig(vector_dim=8, deep_dims=(16, 8), head_dims=(16,),
+                    num_cross_layers=1),
+        rng=np.random.default_rng(5),
+    )
+
+
+@pytest.fixture
+def engine(tiny_tmall_world, serving_model):
+    return RealTimeEngine(
+        serving_model,
+        tiny_tmall_world.new_items,
+        tiny_tmall_world.active_user_group(0.2),
+        EngineConfig(warm_view_threshold=5),
+    )
+
+
+class TestEvents:
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            Event("swipe", 0, 0, 0.0)
+        with pytest.raises(ValueError):
+            Event(EventKind.VIEW, -1, 0, 0.0)
+
+    def test_stream_generation(self, tiny_tmall_world, rng):
+        events = generate_event_stream(
+            tiny_tmall_world, np.arange(50), n_events=200, rng=rng
+        )
+        # Views plus funnel events.
+        views = [e for e in events if e.kind == EventKind.VIEW]
+        assert len(views) == 200
+        assert len(events) > 200
+        assert all(0 <= e.item_id < 50 for e in events)
+
+    def test_popular_items_get_more_views(self, tiny_tmall_world, rng):
+        world = tiny_tmall_world
+        indices = np.arange(len(world.new_items))
+        events = generate_event_stream(world, indices, n_events=5000, rng=rng)
+        counts = np.zeros(indices.size)
+        for event in events:
+            if event.kind == EventKind.VIEW:
+                counts[event.item_id] += 1
+        corr = np.corrcoef(counts, world.new_item_popularity)[0, 1]
+        assert corr > 0.3
+
+    def test_invalid_args_rejected(self, tiny_tmall_world, rng):
+        with pytest.raises(ValueError):
+            generate_event_stream(tiny_tmall_world, [], 10, rng)
+        with pytest.raises(ValueError):
+            generate_event_stream(tiny_tmall_world, [0], 0, rng)
+
+
+class TestStatisticsStore:
+    def test_counters_update(self):
+        store = ItemStatisticsStore(3)
+        store.ingest(
+            [
+                Event(EventKind.VIEW, 0, 1, 0.0),
+                Event(EventKind.VIEW, 0, 2, 1.0),
+                Event(EventKind.CLICK, 0, 1, 2.0),
+                Event(EventKind.PURCHASE, 0, 1, 3.0),
+            ]
+        )
+        counters = store.counters(0)
+        assert counters.views == 2
+        assert counters.clicks == 1
+        assert counters.purchases == 1
+        assert counters.ctr == 0.5
+        assert len(counters.unique_users) == 2
+
+    def test_out_of_range_slot_rejected(self):
+        store = ItemStatisticsStore(2)
+        with pytest.raises(IndexError):
+            store.ingest([Event(EventKind.VIEW, 5, 0, 0.0)])
+
+    def test_warm_slots_threshold(self):
+        store = ItemStatisticsStore(3)
+        store.ingest([Event(EventKind.VIEW, 1, 0, 0.0)] * 10)
+        np.testing.assert_array_equal(store.warm_slots(5), [1])
+        assert store.warm_slots(11).size == 0
+
+    def test_feature_columns_schema_names(self):
+        store = ItemStatisticsStore(4)
+        store.ingest([Event(EventKind.VIEW, 0, 0, 0.0)] * 3)
+        columns = store.feature_columns(np.arange(4))
+        assert set(columns) == set(ItemStatisticsStore.STAT_COLUMNS)
+        for values in columns.values():
+            assert values.shape == (4,)
+
+    def test_untrafficked_slots_zero(self):
+        store = ItemStatisticsStore(3)
+        store.ingest([Event(EventKind.VIEW, 0, 0, 0.0)] * 5)
+        columns = store.feature_columns([1, 2])
+        for values in columns.values():
+            np.testing.assert_allclose(values, 0.0)
+
+    def test_empty_store_all_zero(self):
+        store = ItemStatisticsStore(2)
+        columns = store.feature_columns([0, 1])
+        for values in columns.values():
+            np.testing.assert_allclose(values, 0.0)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            ItemStatisticsStore(0)
+        with pytest.raises(ValueError):
+            ItemStatisticsStore(2).warm_slots(0)
+
+
+class TestRealTimeEngine:
+    def test_cold_scores_are_probabilities(self, engine, tiny_tmall_world):
+        scores = engine.refresh()
+        assert scores.shape == (len(tiny_tmall_world.new_items),)
+        assert scores.min() > 0.0 and scores.max() < 1.0
+
+    def test_lazy_refresh_on_ingest(self, engine, tiny_tmall_world, rng):
+        first = engine.scores()
+        events = generate_event_stream(
+            tiny_tmall_world, np.arange(20), n_events=300, rng=rng
+        )
+        engine.ingest(events)
+        second = engine.scores()  # triggers a refresh because stale
+        assert engine.refreshes == 2
+        assert not np.allclose(first, second)
+
+    def test_warm_items_use_encoder_path(self, engine, tiny_tmall_world, rng):
+        cold = engine.refresh().copy()
+        events = generate_event_stream(
+            tiny_tmall_world, np.array([3]), n_events=200, rng=rng
+        )
+        engine.ingest(events)
+        warm = engine.refresh()
+        # Slot 3 is warm and re-scored through the encoder; a slot with no
+        # traffic keeps its generator score.
+        assert warm[3] != cold[3]
+        untouched = [s for s in range(len(cold)) if s != 3][0]
+        assert warm[untouched] == pytest.approx(cold[untouched])
+
+    def test_top_promotion_candidates_sorted(self, engine):
+        top = engine.top_promotion_candidates(5)
+        scores = engine.scores()
+        assert len(top) == 5
+        assert np.all(np.diff(scores[top]) <= 0)
+
+    def test_top_k_validation(self, engine):
+        with pytest.raises(ValueError):
+            engine.top_promotion_candidates(0)
+
+    def test_recommend_for_user(self, engine, tiny_tmall_world):
+        user_row = {
+            name: tiny_tmall_world.users[name][:1]
+            for name in tiny_tmall_world.schema.all_column_names("user")
+        }
+        recommendations = engine.recommend_for_user(user_row, k=4)
+        assert len(recommendations) == 4
+        assert len(set(recommendations)) == 4
+
+    def test_recommend_missing_features_rejected(self, engine):
+        with pytest.raises(KeyError):
+            engine.recommend_for_user({"user_id": np.array([0])}, k=3)
+
+    def test_recommendations_personalised(self, engine, tiny_tmall_world):
+        """Two users from different segments should not always agree."""
+        world = tiny_tmall_world
+        segments = world.user_segments
+        user_a = int(np.flatnonzero(segments == segments[0])[0])
+        user_b = int(np.flatnonzero(segments != segments[0])[0])
+        rows = []
+        for user in (user_a, user_b):
+            rows.append(
+                {
+                    name: world.users[name][user : user + 1]
+                    for name in world.schema.all_column_names("user")
+                }
+            )
+        rec_a = engine.recommend_for_user(rows[0], k=10)
+        rec_b = engine.recommend_for_user(rows[1], k=10)
+        assert not np.array_equal(rec_a, rec_b)
+
+    def test_invalid_engine_config_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(warm_view_threshold=0)

@@ -1,0 +1,159 @@
+"""Tower and scoring-head tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConcatMLPHead, Tower, TowerConfig, WeightedDotHead
+from repro.data import GROUP_ITEM_PROFILE, GROUP_ITEM_STAT, GROUP_USER
+from repro.nn import Tensor
+from repro.nn.layers import FeatureEmbeddings, MLP
+
+
+def _features(world, table, groups, n=6):
+    names = world.schema.all_column_names(*groups)
+    return {name: table[name][:n] for name in names}
+
+
+class TestTowerConfig:
+    def test_paper_dimensions(self):
+        config = TowerConfig.paper()
+        assert config.vector_dim == 128
+        assert config.deep_dims == (512, 256, 128)
+        assert config.head_dims == (256, 256, 256)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            TowerConfig(vector_dim=0)
+        with pytest.raises(ValueError):
+            TowerConfig(deep_dims=())
+        with pytest.raises(ValueError):
+            TowerConfig(num_cross_layers=-1)
+
+
+class TestTower:
+    def test_output_shape(self, tiny_tmall_world, tiny_tower_config, rng):
+        world = tiny_tmall_world
+        tower = Tower(world.schema, (GROUP_USER,), tiny_tower_config, rng=rng)
+        out = tower(_features(world, world.users, (GROUP_USER,)))
+        assert out.shape == (6, tiny_tower_config.vector_dim)
+
+    def test_item_tower_consumes_both_groups(
+        self, tiny_tmall_world, tiny_tower_config, rng
+    ):
+        world = tiny_tmall_world
+        tower = Tower(
+            world.schema,
+            (GROUP_ITEM_PROFILE, GROUP_ITEM_STAT),
+            tiny_tower_config,
+            rng=rng,
+        )
+        out = tower(
+            _features(world, world.items, (GROUP_ITEM_PROFILE, GROUP_ITEM_STAT))
+        )
+        assert out.shape == (6, tiny_tower_config.vector_dim)
+
+    def test_fc_variant_has_no_cross_layers(
+        self, tiny_tmall_world, rng
+    ):
+        config = TowerConfig(
+            vector_dim=8, deep_dims=(16,), head_dims=(8,), num_cross_layers=0
+        )
+        tower = Tower(tiny_tmall_world.schema, (GROUP_USER,), config, rng=rng)
+        assert isinstance(tower.encoder, MLP)
+
+    def test_missing_numeric_feature_rejected(
+        self, tiny_tmall_world, tiny_tower_config, rng
+    ):
+        world = tiny_tmall_world
+        tower = Tower(world.schema, (GROUP_USER,), tiny_tower_config, rng=rng)
+        features = _features(world, world.users, (GROUP_USER,))
+        del features["user_activity"]
+        with pytest.raises(KeyError):
+            tower(features)
+
+    def test_shared_embedding_bank_is_same_object(
+        self, tiny_tmall_world, tiny_tower_config, rng
+    ):
+        world = tiny_tmall_world
+        bank = FeatureEmbeddings(
+            world.schema.vocab_sizes(GROUP_ITEM_PROFILE),
+            world.schema.embedding_dims(GROUP_ITEM_PROFILE),
+            rng=rng,
+        )
+        a = Tower(
+            world.schema,
+            (GROUP_ITEM_PROFILE, GROUP_ITEM_STAT),
+            tiny_tower_config,
+            embeddings=bank,
+            rng=rng,
+        )
+        b = Tower(
+            world.schema, (GROUP_ITEM_PROFILE,), tiny_tower_config,
+            embeddings=bank, rng=rng,
+        )
+        assert a.embeddings is b.embeddings
+
+    def test_mismatched_shared_bank_rejected(
+        self, tiny_tmall_world, tiny_tower_config, rng
+    ):
+        world = tiny_tmall_world
+        bank = FeatureEmbeddings({"bogus": 3}, {"bogus": 2}, rng=rng)
+        with pytest.raises(ValueError):
+            Tower(
+                world.schema, (GROUP_ITEM_PROFILE,), tiny_tower_config,
+                embeddings=bank, rng=rng,
+            )
+
+
+class TestWeightedDotHead:
+    def test_probability_range(self, rng):
+        head = WeightedDotHead(8, rng=rng)
+        out = head(Tensor(rng.normal(size=(5, 8))), Tensor(rng.normal(size=(5, 8))))
+        assert out.data.min() > 0.0 and out.data.max() < 1.0
+
+    def test_logits_linear_in_user_vector(self, rng):
+        """The property the O(1) mean-user-vector trick relies on."""
+        head = WeightedDotHead(4, rng=rng)
+        items = Tensor(rng.normal(size=(3, 4)))
+        u1 = rng.normal(size=(3, 4))
+        u2 = rng.normal(size=(3, 4))
+        mean_logit = head.logits(items, Tensor((u1 + u2) / 2)).data
+        averaged = (
+            head.logits(items, Tensor(u1)).data + head.logits(items, Tensor(u2)).data
+        ) / 2
+        np.testing.assert_allclose(mean_logit, averaged, atol=1e-10)
+
+    def test_shape_mismatch_rejected(self, rng):
+        head = WeightedDotHead(4, rng=rng)
+        with pytest.raises(ValueError):
+            head(Tensor(np.zeros((2, 4))), Tensor(np.zeros((2, 5))))
+
+    def test_invalid_dim_rejected(self, rng):
+        with pytest.raises(ValueError):
+            WeightedDotHead(0, rng=rng)
+
+
+class TestConcatMLPHead:
+    def test_scalar_output(self, rng):
+        head = ConcatMLPHead(6, rng=rng)
+        out = head(Tensor(rng.normal(size=(4, 6))), Tensor(rng.normal(size=(4, 6))))
+        assert out.shape == (4,)
+
+    def test_sigmoid_output_bounded(self, rng):
+        head = ConcatMLPHead(6, output_activation="sigmoid", rng=rng)
+        out = head(Tensor(rng.normal(size=(9, 6))), Tensor(rng.normal(size=(9, 6))))
+        assert out.data.min() >= 0.0 and out.data.max() <= 1.0
+
+    def test_set_output_bias_shifts_output(self, rng):
+        head = ConcatMLPHead(6, rng=rng)
+        items = Tensor(rng.normal(size=(50, 6)))
+        users = Tensor(rng.normal(size=(50, 6)))
+        before = head(items, users).data
+        head.set_output_bias(10.0)  # initial bias is zero
+        after = head(items, users).data
+        np.testing.assert_allclose(after - before, 10.0, atol=1e-10)
+
+    def test_shape_mismatch_rejected(self, rng):
+        head = ConcatMLPHead(4, rng=rng)
+        with pytest.raises(ValueError):
+            head(Tensor(np.zeros((2, 4))), Tensor(np.zeros((3, 4))))

@@ -1,0 +1,53 @@
+"""Scheduler + trainer integration via the epoch callback."""
+
+import numpy as np
+import pytest
+
+from repro.core import TowerConfig, TwoTowerModel, TwoTowerTrainer
+from repro.nn.optim import SGD, StepDecay
+from repro.nn.module import Parameter
+
+
+class TestSchedulerWiring:
+    def test_lr_decays_through_callback(self, tiny_tmall_world, tiny_tower_config):
+        """A scheduler driven by on_epoch_end must change the optimizer lr.
+
+        The trainers own their optimizer, so user-side schedules attach to
+        a proxy optimizer here; this test documents the callback contract:
+        it fires once per epoch with the epoch index and the record.
+        """
+        train = tiny_tmall_world.interactions.subset(np.arange(1500))
+        seen_epochs = []
+        rates = []
+
+        proxy = SGD([Parameter(np.zeros(1))], lr=1.0)
+        scheduler = StepDecay(proxy, step_size=1, gamma=0.5)
+
+        def on_epoch_end(epoch, record):
+            seen_epochs.append(epoch)
+            rates.append(scheduler.step())
+
+        model = TwoTowerModel(
+            tiny_tmall_world.schema, tiny_tower_config,
+            rng=np.random.default_rng(1),
+        )
+        TwoTowerTrainer(
+            epochs=3, batch_size=512, on_epoch_end=on_epoch_end
+        ).fit(model, train)
+
+        assert seen_epochs == [0, 1, 2]
+        assert rates == pytest.approx([0.5, 0.25, 0.125])
+        assert proxy.lr == pytest.approx(0.125)
+
+    def test_callback_receives_record(self, tiny_tmall_world, tiny_tower_config):
+        train = tiny_tmall_world.interactions.subset(np.arange(1500))
+        records = []
+        model = TwoTowerModel(
+            tiny_tmall_world.schema, tiny_tower_config,
+            rng=np.random.default_rng(1),
+        )
+        TwoTowerTrainer(
+            epochs=1, batch_size=512,
+            on_epoch_end=lambda e, r: records.append(r),
+        ).fit(model, train)
+        assert "loss" in records[0]

@@ -1,0 +1,105 @@
+"""Post-release behaviour simulator tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import BehaviorConfig, simulate_behavior
+
+
+def _panel(rng, n=200, config=BehaviorConfig()):
+    popularity = rng.uniform(0.05, 0.9, size=n)
+    prices = rng.lognormal(3.0, 0.5, size=n)
+    return simulate_behavior(popularity, prices, rng, config), popularity, prices
+
+
+class TestSimulation:
+    def test_shapes(self, rng):
+        panel, popularity, _ = _panel(rng)
+        assert panel.ipv.shape == (200, 30)
+        assert panel.first_k_day.shape == (200,)
+
+    def test_counts_nonnegative_integers(self, rng):
+        panel, _, _ = _panel(rng)
+        assert panel.ipv.min() >= 0
+        assert panel.atf.min() >= 0
+        assert np.issubdtype(panel.ipv.dtype, np.integer)
+
+    def test_thinning_bounds(self, rng):
+        """Favourites and purchases can never exceed page views."""
+        panel, _, _ = _panel(rng)
+        assert np.all(panel.atf <= panel.ipv)
+        assert np.all(panel.purchases <= panel.ipv)
+
+    def test_gmv_is_purchases_times_price(self, rng):
+        panel, _, prices = _panel(rng)
+        np.testing.assert_allclose(panel.gmv, panel.purchases * prices[:, None])
+
+    def test_popular_items_earn_more(self, rng):
+        panel, popularity, _ = _panel(rng, n=500)
+        ipv30 = panel.cumulative("ipv", 30)
+        corr = np.corrcoef(ipv30, popularity)[0, 1]
+        assert corr > 0.5
+
+    def test_novelty_decay(self, rng):
+        """Early days have higher expected traffic than late days."""
+        panel, _, _ = _panel(rng, n=2000)
+        early = panel.ipv[:, :5].mean()
+        late = panel.ipv[:, 25:].mean()
+        assert early > late
+
+    def test_cumulative_monotone_in_day(self, rng):
+        panel, _, _ = _panel(rng)
+        assert np.all(
+            panel.cumulative("ipv", 14) >= panel.cumulative("ipv", 7)
+        )
+
+    def test_first_k_day_consistent_with_purchases(self, rng):
+        panel, _, _ = _panel(rng)
+        k = BehaviorConfig().first_k_transactions
+        for item in range(0, 50):
+            day = panel.first_k_day[item]
+            if day <= panel.horizon_days:
+                assert panel.purchases[item, :day].sum() >= k
+                if day > 1:
+                    assert panel.purchases[item, : day - 1].sum() < k
+
+    def test_censored_items_marked(self, rng):
+        popularity = np.full(20, 1e-4)  # essentially never purchased
+        prices = np.ones(20)
+        panel = simulate_behavior(popularity, prices, rng)
+        assert np.all(panel.first_k_day == panel.horizon_days + 1)
+
+    def test_deterministic_under_seed(self):
+        popularity = np.linspace(0.1, 0.9, 30)
+        prices = np.ones(30)
+        a = simulate_behavior(popularity, prices, np.random.default_rng(5))
+        b = simulate_behavior(popularity, prices, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.ipv, b.ipv)
+
+
+class TestValidation:
+    def test_popularity_out_of_range_rejected(self, rng):
+        with pytest.raises(ValueError):
+            simulate_behavior(np.array([1.5]), np.array([1.0]), rng)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            simulate_behavior(np.array([0.5, 0.5]), np.array([1.0]), rng)
+
+    def test_cumulative_day_out_of_range_rejected(self, rng):
+        panel, _, _ = _panel(rng, n=10)
+        with pytest.raises(ValueError):
+            panel.cumulative("ipv", 31)
+        with pytest.raises(ValueError):
+            panel.cumulative("ipv", 0)
+
+    def test_cumulative_unknown_metric_rejected(self, rng):
+        panel, _, _ = _panel(rng, n=10)
+        with pytest.raises(ValueError):
+            panel.cumulative("clicks", 7)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            BehaviorConfig(horizon_days=0)
+        with pytest.raises(ValueError):
+            BehaviorConfig(atf_rate=1.5)

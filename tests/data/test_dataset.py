@@ -1,0 +1,213 @@
+"""FeatureTable, Batch and InteractionDataset tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    GROUP_ITEM_PROFILE,
+    GROUP_ITEM_STAT,
+    GROUP_USER,
+    CategoricalFeature,
+    FeatureSchema,
+    FeatureTable,
+    InteractionDataset,
+    NumericFeature,
+    train_test_split,
+    zero_statistics,
+)
+from repro.data.splits import split_indices
+
+
+def _schema():
+    return FeatureSchema(
+        categorical=[
+            CategoricalFeature("uid", 10, 4, GROUP_USER),
+            CategoricalFeature("cat", 5, 2, GROUP_ITEM_PROFILE),
+        ],
+        numeric=[
+            NumericFeature("age", GROUP_USER),
+            NumericFeature("pv", GROUP_ITEM_STAT),
+        ],
+    )
+
+
+def _dataset(n=20, rng=None):
+    rng = rng or np.random.default_rng(0)
+    features = {
+        "uid": rng.integers(0, 10, size=n),
+        "cat": rng.integers(0, 5, size=n),
+        "age": rng.normal(size=n),
+        "pv": rng.normal(size=n),
+    }
+    labels = {"ctr": (rng.random(n) < 0.4).astype(float)}
+    return InteractionDataset(_schema(), features, labels)
+
+
+class TestFeatureTable:
+    def test_length_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            FeatureTable({"a": np.zeros(3), "b": np.zeros(4)})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureTable({})
+
+    def test_getitem_unknown_column(self):
+        table = FeatureTable({"a": np.zeros(3)})
+        with pytest.raises(KeyError):
+            table["b"]
+
+    def test_contains(self):
+        table = FeatureTable({"a": np.zeros(3)})
+        assert "a" in table and "b" not in table
+
+    def test_subset(self):
+        table = FeatureTable({"a": np.arange(5)})
+        sub = table.subset(np.array([0, 2]))
+        np.testing.assert_array_equal(sub["a"], [0, 2])
+
+    def test_to_matrix_casts_to_float(self):
+        table = FeatureTable({"a": np.arange(3), "b": np.ones(3)})
+        matrix = table.to_matrix(["a", "b"])
+        assert matrix.dtype == np.float64
+        assert matrix.shape == (3, 2)
+
+    def test_to_matrix_empty_names_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureTable({"a": np.zeros(2)}).to_matrix([])
+
+    def test_select(self):
+        table = FeatureTable({"a": np.arange(3), "b": np.ones(3)})
+        assert set(table.select(["a"])) == {"a"}
+
+
+class TestInteractionDataset:
+    def test_missing_schema_columns_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionDataset(
+                _schema(), {"uid": np.zeros(3, dtype=int)}, {"ctr": np.zeros(3)}
+            )
+
+    def test_label_shape_enforced(self):
+        features = {
+            "uid": np.zeros(3, dtype=int),
+            "cat": np.zeros(3, dtype=int),
+            "age": np.zeros(3),
+            "pv": np.zeros(3),
+        }
+        with pytest.raises(ValueError):
+            InteractionDataset(_schema(), features, {"ctr": np.zeros(4)})
+
+    def test_empty_labels_rejected(self):
+        features = {
+            "uid": np.zeros(3, dtype=int),
+            "cat": np.zeros(3, dtype=int),
+            "age": np.zeros(3),
+            "pv": np.zeros(3),
+        }
+        with pytest.raises(ValueError):
+            InteractionDataset(_schema(), features, {})
+
+    def test_unknown_label_rejected(self):
+        dataset = _dataset()
+        with pytest.raises(KeyError):
+            dataset.label("gmv")
+
+    def test_subset_preserves_alignment(self):
+        dataset = _dataset()
+        sub = dataset.subset(np.array([3, 7]))
+        assert len(sub) == 2
+        np.testing.assert_array_equal(sub.label("ctr"), dataset.label("ctr")[[3, 7]])
+
+    def test_feature_matrix_column_order(self):
+        dataset = _dataset()
+        matrix = dataset.feature_matrix([GROUP_USER])
+        np.testing.assert_allclose(matrix[:, 0], dataset.features["uid"])
+        np.testing.assert_allclose(matrix[:, 1], dataset.features["age"])
+
+
+class TestBatching:
+    def test_batches_cover_all_rows(self):
+        dataset = _dataset(n=23)
+        sizes = [b.size for b in dataset.iter_batches(5)]
+        assert sum(sizes) == 23
+        assert sizes[-1] == 3
+
+    def test_drop_last(self):
+        dataset = _dataset(n=23)
+        sizes = [b.size for b in dataset.iter_batches(5, drop_last=True)]
+        assert sizes == [5, 5, 5, 5]
+
+    def test_shuffle_changes_order(self):
+        dataset = _dataset(n=50)
+        first = next(iter(dataset.iter_batches(50, rng=np.random.default_rng(1))))
+        assert not np.array_equal(first.features["uid"], dataset.features["uid"])
+
+    def test_no_rng_preserves_order(self):
+        dataset = _dataset(n=10)
+        batch = next(iter(dataset.iter_batches(10)))
+        np.testing.assert_array_equal(batch.features["uid"], dataset.features["uid"])
+
+    def test_labels_stay_aligned_under_shuffle(self):
+        dataset = _dataset(n=40)
+        # Tag each row: label equals uid parity so alignment is checkable.
+        dataset.labels["ctr"] = (dataset.features["uid"] % 2).astype(float)
+        for batch in dataset.iter_batches(7, rng=np.random.default_rng(2)):
+            np.testing.assert_allclose(
+                batch.label("ctr"), batch.features["uid"] % 2
+            )
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            list(_dataset().iter_batches(0))
+
+    def test_batch_unknown_label_rejected(self):
+        batch = next(iter(_dataset().iter_batches(4)))
+        with pytest.raises(KeyError):
+            batch.label("vppv")
+
+
+class TestSplits:
+    def test_split_proportions(self):
+        train_idx, test_idx = split_indices(100, 0.2, np.random.default_rng(0))
+        assert len(test_idx) == 20 and len(train_idx) == 80
+
+    def test_split_disjoint_and_complete(self):
+        train_idx, test_idx = split_indices(50, 0.3, np.random.default_rng(0))
+        combined = np.sort(np.concatenate([train_idx, test_idx]))
+        np.testing.assert_array_equal(combined, np.arange(50))
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            split_indices(10, 0.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            split_indices(10, 1.0, np.random.default_rng(0))
+
+    def test_too_few_rows_rejected(self):
+        with pytest.raises(ValueError):
+            split_indices(1, 0.5, np.random.default_rng(0))
+
+    def test_dataset_split(self):
+        dataset = _dataset(n=30)
+        train, test = train_test_split(dataset, 0.2, np.random.default_rng(0))
+        assert len(train) == 24 and len(test) == 6
+
+    def test_split_deterministic_under_seed(self):
+        dataset = _dataset(n=30)
+        a, _ = train_test_split(dataset, 0.2, np.random.default_rng(9))
+        b, _ = train_test_split(dataset, 0.2, np.random.default_rng(9))
+        np.testing.assert_array_equal(a.features["uid"], b.features["uid"])
+
+
+class TestZeroStatistics:
+    def test_stats_zeroed_profiles_kept(self):
+        dataset = _dataset()
+        cold = zero_statistics(dataset.schema, dataset.features)
+        np.testing.assert_allclose(cold["pv"], 0.0)
+        np.testing.assert_array_equal(cold["uid"], dataset.features["uid"])
+
+    def test_original_not_mutated(self):
+        dataset = _dataset()
+        original = dataset.features["pv"].copy()
+        zero_statistics(dataset.schema, dataset.features)
+        np.testing.assert_array_equal(dataset.features["pv"], original)

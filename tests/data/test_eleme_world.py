@@ -1,0 +1,88 @@
+"""Synthetic Ele.me world: structural invariants for Tables IV / V."""
+
+import numpy as np
+import pytest
+
+from repro.data import GROUP_ITEM_PROFILE, GROUP_ITEM_STAT, GROUP_USER
+from repro.data.synthetic import ElemeConfig, ElemeWorld, generate_eleme_world
+
+
+class TestGeneration:
+    def test_entity_counts(self, tiny_eleme_world):
+        world = tiny_eleme_world
+        assert len(world.restaurants) == world.config.n_restaurants
+        assert len(world.new_restaurants) == world.config.n_new_restaurants
+        assert len(world.user_groups) == world.config.n_zones
+        expected = world.config.n_restaurants * world.config.samples_per_restaurant
+        assert len(world.samples) == expected
+
+    def test_two_label_columns(self, tiny_eleme_world):
+        labels = tiny_eleme_world.samples.labels
+        assert set(labels) == {"vppv", "gmv"}
+
+    def test_deterministic_under_seed(self):
+        config = ElemeConfig(
+            n_restaurants=80, n_new_restaurants=30, samples_per_restaurant=3, seed=9
+        )
+        a = ElemeWorld(config)
+        b = ElemeWorld(config)
+        np.testing.assert_allclose(a.samples.label("gmv"), b.samples.label("gmv"))
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            ElemeConfig(n_zones=0)
+
+
+class TestStructuralProperties:
+    def test_vppv_near_paper_scale(self, tiny_eleme_world):
+        """The paper reports VpPV around 0.26."""
+        vppv = tiny_eleme_world.samples.label("vppv")
+        assert 0.1 < vppv.mean() < 0.45
+        assert vppv.min() >= 0.0
+
+    def test_gmv_label_is_log_scale(self, tiny_eleme_world):
+        gmv = tiny_eleme_world.samples.label("gmv")
+        assert 3.0 < gmv.mean() < 7.0
+
+    def test_new_restaurants_lack_statistics(self, tiny_eleme_world):
+        world = tiny_eleme_world
+        for name in world.schema.numeric_names(GROUP_ITEM_STAT):
+            np.testing.assert_allclose(world.new_restaurants[name], 0.0)
+
+    def test_statistics_informative(self, tiny_eleme_world):
+        world = tiny_eleme_world
+        corr = np.corrcoef(
+            world.restaurants["stat_overall_vppv"], world.restaurant_attractiveness
+        )[0, 1]
+        assert corr > 0.4
+
+    def test_labels_track_attractiveness(self, tiny_eleme_world):
+        """Restaurants' mean VpPV must increase with attractiveness."""
+        world = tiny_eleme_world
+        rng = np.random.default_rng(0)
+        att = world.new_restaurant_attractiveness
+        vppv, gmv = world.realized_outcomes(np.arange(len(att)), rng)
+        assert np.corrcoef(vppv, att)[0, 1] > 0.5
+        assert np.corrcoef(gmv, att)[0, 1] > 0.3
+
+    def test_realized_gmv_near_paper_scale(self, tiny_eleme_world):
+        """The paper reports per-restaurant GMV around 190-220."""
+        world = tiny_eleme_world
+        _, gmv = world.realized_outcomes(
+            np.arange(len(world.new_restaurants)), np.random.default_rng(0)
+        )
+        assert 50 < gmv.mean() < 800
+
+    def test_zone_ids_within_vocab(self, tiny_eleme_world):
+        world = tiny_eleme_world
+        assert world.new_restaurant_zone.max() < world.config.n_zones
+
+    def test_own_zone_labels_higher_than_remote(self, tiny_eleme_world):
+        """Delivery radius: a restaurant scores higher with its own zone."""
+        world = tiny_eleme_world
+        rng = np.random.default_rng(1)
+        att = world.restaurant_attractiveness[:50]
+        zone = np.zeros(50, dtype=int)
+        own_vppv, _ = world.labels_for(att, zone, zone, rng)
+        remote_vppv, _ = world.labels_for(att, zone, zone + 1, rng)
+        assert own_vppv.mean() > remote_vppv.mean()

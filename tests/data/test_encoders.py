@@ -1,0 +1,85 @@
+"""Vocabulary, hashing and scaling encoder tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import HashEncoder, StandardScaler, VocabEncoder
+
+
+class TestVocabEncoder:
+    def test_ids_contiguous_from_one(self):
+        encoder = VocabEncoder().fit(["a", "b", "a", "c"])
+        np.testing.assert_array_equal(
+            encoder.transform(["a", "b", "c"]), [1, 2, 3]
+        )
+
+    def test_oov_maps_to_zero(self):
+        encoder = VocabEncoder().fit(["a"])
+        assert encoder.transform(["unknown"])[0] == VocabEncoder.OOV_ID
+
+    def test_vocab_size_includes_oov(self):
+        encoder = VocabEncoder().fit(["a", "b"])
+        assert encoder.vocab_size == 3
+
+    def test_fit_transform(self):
+        encoder = VocabEncoder()
+        np.testing.assert_array_equal(encoder.fit_transform(["x", "y", "x"]), [1, 2, 1])
+
+    def test_incremental_fit(self):
+        encoder = VocabEncoder().fit(["a"])
+        encoder.fit(["b"])
+        assert encoder.transform(["b"])[0] == 2
+
+    def test_inverse(self):
+        encoder = VocabEncoder().fit(["a", "b"])
+        assert encoder.inverse(np.array([1, 0])) == ["a", None]
+
+
+class TestHashEncoder:
+    def test_range(self):
+        encoder = HashEncoder(num_buckets=16)
+        codes = encoder.transform([f"item{i}" for i in range(200)])
+        assert codes.min() >= 0 and codes.max() < 16
+
+    def test_deterministic(self):
+        encoder = HashEncoder(num_buckets=64, salt=1)
+        a = encoder.transform(["x", "y"])
+        b = encoder.transform(["x", "y"])
+        np.testing.assert_array_equal(a, b)
+
+    def test_salt_changes_assignment(self):
+        values = [f"item{i}" for i in range(100)]
+        a = HashEncoder(64, salt=1).transform(values)
+        b = HashEncoder(64, salt=2).transform(values)
+        assert not np.array_equal(a, b)
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            HashEncoder(0)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        scaler = StandardScaler()
+        out = scaler.fit_transform(rng.normal(3.0, 2.0, size=(500, 2)))
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_not_scaled(self):
+        out = StandardScaler().fit_transform(np.ones((10, 1)))
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_transform_before_fit_rejected(self, rng):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(rng.normal(size=(5, 2)))
+
+    def test_column_count_mismatch_rejected(self, rng):
+        scaler = StandardScaler().fit(rng.normal(size=(5, 2)))
+        with pytest.raises(ValueError):
+            scaler.transform(rng.normal(size=(5, 3)))
+
+    def test_uses_train_statistics(self, rng):
+        train = rng.normal(0.0, 1.0, size=(100, 1))
+        scaler = StandardScaler().fit(train)
+        shifted = scaler.transform(train + 10.0)
+        assert shifted.mean() == pytest.approx(10.0 / train.std(), rel=1e-6)

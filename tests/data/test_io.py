@@ -1,0 +1,60 @@
+"""Dataset persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    load_feature_table,
+    load_interactions,
+    save_feature_table,
+    save_interactions,
+)
+
+
+class TestFeatureTableIO:
+    def test_roundtrip(self, tiny_tmall_world, tmp_path):
+        path = tmp_path / "items.npz"
+        save_feature_table(tiny_tmall_world.items, path)
+        loaded = load_feature_table(path)
+        assert set(loaded.columns) == set(tiny_tmall_world.items.columns)
+        np.testing.assert_array_equal(
+            loaded["item_brand"], tiny_tmall_world.items["item_brand"]
+        )
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_feature_table(tmp_path / "nope.npz")
+
+    def test_creates_parent_dirs(self, tiny_tmall_world, tmp_path):
+        path = tmp_path / "deep" / "dir" / "items.npz"
+        save_feature_table(tiny_tmall_world.users, path)
+        assert path.exists()
+
+
+class TestInteractionsIO:
+    def test_roundtrip(self, tiny_tmall_world, tmp_path):
+        path = tmp_path / "interactions.npz"
+        dataset = tiny_tmall_world.interactions
+        save_interactions(dataset, path)
+        loaded = load_interactions(path, tiny_tmall_world.schema)
+        assert len(loaded) == len(dataset)
+        np.testing.assert_array_equal(loaded.label("ctr"), dataset.label("ctr"))
+        np.testing.assert_array_equal(
+            loaded.features["user_id"], dataset.features["user_id"]
+        )
+
+    def test_multi_label_roundtrip(self, tiny_eleme_world, tmp_path):
+        path = tmp_path / "samples.npz"
+        save_interactions(tiny_eleme_world.samples, path)
+        loaded = load_interactions(path, tiny_eleme_world.schema)
+        assert set(loaded.labels) == {"vppv", "gmv"}
+
+    def test_schema_validated_on_load(self, tiny_tmall_world, tiny_eleme_world, tmp_path):
+        path = tmp_path / "interactions.npz"
+        save_interactions(tiny_tmall_world.interactions, path)
+        with pytest.raises(ValueError):
+            load_interactions(path, tiny_eleme_world.schema)
+
+    def test_missing_file_rejected(self, tmp_path, tiny_tmall_world):
+        with pytest.raises(FileNotFoundError):
+            load_interactions(tmp_path / "nope.npz", tiny_tmall_world.schema)

@@ -1,0 +1,105 @@
+"""Synthetic movie world and transfer-experiment tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import GROUP_ITEM_STAT
+from repro.data.synthetic import MovieConfig, MovieWorld, generate_movie_world
+from repro.experiments import run_transfer
+
+
+@pytest.fixture(scope="module")
+def tiny_movie_world():
+    return generate_movie_world(
+        MovieConfig(
+            n_users=300,
+            n_movies=400,
+            n_new_movies=120,
+            n_interactions=8_000,
+            seed=4,
+        )
+    )
+
+
+class TestMovieWorld:
+    def test_entity_counts(self, tiny_movie_world):
+        world = tiny_movie_world
+        assert len(world.users) == 300
+        assert len(world.movies) == 400
+        assert len(world.new_movies) == 120
+        assert len(world.interactions) == 8_000
+
+    def test_watch_rate_plausible(self, tiny_movie_world):
+        rate = tiny_movie_world.interactions.label("ctr").mean()
+        assert 0.1 < rate < 0.6
+
+    def test_new_movies_lack_statistics(self, tiny_movie_world):
+        world = tiny_movie_world
+        for name in world.schema.numeric_names(GROUP_ITEM_STAT):
+            np.testing.assert_allclose(world.new_movies[name], 0.0)
+
+    def test_statistics_informative(self, tiny_movie_world):
+        world = tiny_movie_world
+        corr = np.corrcoef(world.movies["stat_hist_ctr"], world.movie_popularity)[0, 1]
+        assert corr > 0.5
+
+    def test_popularity_is_probability(self, tiny_movie_world):
+        popularity = tiny_movie_world.new_movie_popularity
+        assert popularity.min() >= 0.0 and popularity.max() <= 1.0
+
+    def test_genre_sequence_feature_present(self, tiny_movie_world):
+        world = tiny_movie_world
+        assert world.users["user_fav_genres"].shape == (300, world.GENRE_LIST_LEN)
+        lengths = world.users["user_fav_genres__mask"].sum(axis=1)
+        assert lengths.min() >= 1
+
+    def test_quality_hidden_behind_studio_ids(self, tiny_movie_world):
+        """Per-studio mean quality must vary (the embedding-learnable signal)."""
+        world = tiny_movie_world
+        studios = world.movies["movie_studio"]
+        means = np.array(
+            [
+                world.movie_quality[studios == s].mean()
+                for s in np.unique(studios)
+                if (studios == s).sum() >= 3
+            ]
+        )
+        assert means.std() > 0.2
+
+    def test_deterministic_under_seed(self):
+        config = MovieConfig(
+            n_users=100, n_movies=120, n_new_movies=40, n_interactions=1000, seed=9
+        )
+        a = MovieWorld(config)
+        b = MovieWorld(config)
+        np.testing.assert_allclose(
+            a.interactions.label("ctr"), b.interactions.label("ctr")
+        )
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            MovieConfig(n_genres=0)
+
+    def test_active_user_group(self, tiny_movie_world):
+        group = tiny_movie_world.active_user_group(0.1)
+        assert len(group) == 30
+
+
+class TestTransferExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_movie_world):
+        return run_transfer("smoke", world=tiny_movie_world)
+
+    def test_atnn_degrades_less(self, result):
+        atnn = result.table.row("ATNN")
+        baseline = result.table.row("TNN-DCN")
+        assert atnn.degradation > baseline.degradation
+        assert atnn.auc_profile_only > baseline.auc_profile_only
+
+    def test_popularity_ranking_carries_signal(self, result):
+        # Weak threshold at this miniature scale; the benchmark asserts
+        # > 0.4 on the default preset.
+        assert result.popularity_rank_corr > 0.05
+
+    def test_render(self, result):
+        assert "movie recommendation" in result.render()

@@ -1,0 +1,88 @@
+"""Feature schema tests."""
+
+import pytest
+
+from repro.data import (
+    GROUP_ITEM_PROFILE,
+    GROUP_ITEM_STAT,
+    GROUP_USER,
+    CategoricalFeature,
+    FeatureSchema,
+    NumericFeature,
+)
+
+
+def _schema():
+    return FeatureSchema(
+        categorical=[
+            CategoricalFeature("uid", 10, 4, GROUP_USER),
+            CategoricalFeature("cat", 5, 2, GROUP_ITEM_PROFILE),
+            CategoricalFeature("brand", 8, 3, GROUP_ITEM_PROFILE),
+        ],
+        numeric=[
+            NumericFeature("age", GROUP_USER),
+            NumericFeature("price", GROUP_ITEM_PROFILE),
+            NumericFeature("pv", GROUP_ITEM_STAT),
+        ],
+    )
+
+
+class TestFeatureSpecs:
+    def test_invalid_group_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalFeature("x", 5, 2, "weird")
+        with pytest.raises(ValueError):
+            NumericFeature("x", "weird")
+
+    def test_invalid_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalFeature("x", 0, 2, GROUP_USER)
+
+    def test_invalid_dim_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalFeature("x", 5, 0, GROUP_USER)
+
+    def test_frozen(self):
+        feature = CategoricalFeature("x", 5, 2, GROUP_USER)
+        with pytest.raises(Exception):
+            feature.vocab_size = 10
+
+
+class TestFeatureSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureSchema(
+                [CategoricalFeature("x", 5, 2, GROUP_USER)],
+                [NumericFeature("x", GROUP_USER)],
+            )
+
+    def test_group_views(self):
+        schema = _schema()
+        assert [f.name for f in schema.categorical_in(GROUP_USER)] == ["uid"]
+        assert [f.name for f in schema.categorical_in(GROUP_ITEM_PROFILE)] == [
+            "cat",
+            "brand",
+        ]
+        assert schema.numeric_names(GROUP_ITEM_STAT) == ["pv"]
+
+    def test_multi_group_view_preserves_order(self):
+        schema = _schema()
+        names = schema.feature_names(GROUP_ITEM_PROFILE, GROUP_ITEM_STAT)
+        assert names == ["cat", "brand", "price", "pv"]
+
+    def test_vocab_and_dims(self):
+        schema = _schema()
+        assert schema.vocab_sizes(GROUP_ITEM_PROFILE) == {"cat": 5, "brand": 8}
+        assert schema.embedding_dims(GROUP_ITEM_PROFILE) == {"cat": 2, "brand": 3}
+
+    def test_input_width(self):
+        schema = _schema()
+        assert schema.input_width(GROUP_USER) == 4 + 1
+        assert schema.input_width(GROUP_ITEM_PROFILE, GROUP_ITEM_STAT) == 2 + 3 + 1 + 1
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(ValueError):
+            _schema().vocab_sizes("nope")
+
+    def test_repr(self):
+        assert "categorical=3" in repr(_schema())

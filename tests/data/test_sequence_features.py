@@ -1,0 +1,147 @@
+"""Sequence (multi-valued categorical) feature tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import Tower, TowerConfig
+from repro.data import (
+    GROUP_USER,
+    CategoricalFeature,
+    FeatureSchema,
+    NumericFeature,
+    SequenceFeature,
+)
+
+
+class TestSequenceFeatureSpec:
+    def test_mask_name_convention(self):
+        feature = SequenceFeature("prefs", 10, 4, 3, GROUP_USER)
+        assert feature.mask_name == "prefs__mask"
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceFeature("x", 0, 4, 3, GROUP_USER)
+        with pytest.raises(ValueError):
+            SequenceFeature("x", 10, 0, 3, GROUP_USER)
+        with pytest.raises(ValueError):
+            SequenceFeature("x", 10, 4, 0, GROUP_USER)
+        with pytest.raises(ValueError):
+            SequenceFeature("x", 10, 4, 3, "nowhere")
+
+
+class TestSchemaIntegration:
+    def _schema(self):
+        return FeatureSchema(
+            categorical=[CategoricalFeature("uid", 10, 4, GROUP_USER)],
+            numeric=[NumericFeature("age", GROUP_USER)],
+            sequence=[SequenceFeature("prefs", 6, 5, 3, GROUP_USER)],
+        )
+
+    def test_input_width_includes_pooled_dim(self):
+        assert self._schema().input_width(GROUP_USER) == 4 + 5 + 1
+
+    def test_feature_names_exclude_sequences(self):
+        assert self._schema().feature_names(GROUP_USER) == ["uid", "age"]
+
+    def test_all_column_names_include_mask(self):
+        names = self._schema().all_column_names(GROUP_USER)
+        assert "prefs" in names and "prefs__mask" in names
+
+    def test_duplicate_names_across_kinds_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureSchema(
+                categorical=[CategoricalFeature("prefs", 10, 4, GROUP_USER)],
+                numeric=[],
+                sequence=[SequenceFeature("prefs", 6, 5, 3, GROUP_USER)],
+            )
+
+
+class TestTowerWithSequences:
+    def _inputs(self, n=7):
+        rng = np.random.default_rng(0)
+        return {
+            "uid": rng.integers(0, 10, size=n),
+            "age": rng.normal(size=n),
+            "prefs": rng.integers(0, 6, size=(n, 3)),
+            "prefs__mask": (rng.random((n, 3)) < 0.7).astype(float),
+        }
+
+    def _schema(self):
+        return FeatureSchema(
+            categorical=[CategoricalFeature("uid", 10, 4, GROUP_USER)],
+            numeric=[NumericFeature("age", GROUP_USER)],
+            sequence=[SequenceFeature("prefs", 6, 5, 3, GROUP_USER)],
+        )
+
+    def test_forward_shape(self):
+        tower = Tower(
+            self._schema(), (GROUP_USER,),
+            TowerConfig(vector_dim=8, deep_dims=(16,), head_dims=(8,)),
+            rng=np.random.default_rng(1),
+        )
+        out = tower(self._inputs())
+        assert out.shape == (7, 8)
+
+    def test_missing_mask_rejected(self):
+        tower = Tower(
+            self._schema(), (GROUP_USER,),
+            TowerConfig(vector_dim=8, deep_dims=(16,), head_dims=(8,)),
+            rng=np.random.default_rng(1),
+        )
+        inputs = self._inputs()
+        del inputs["prefs__mask"]
+        with pytest.raises(KeyError):
+            tower(inputs)
+
+    def test_masked_entries_have_no_influence(self):
+        tower = Tower(
+            self._schema(), (GROUP_USER,),
+            TowerConfig(vector_dim=8, deep_dims=(16,), head_dims=(8,)),
+            rng=np.random.default_rng(1),
+        )
+        inputs = self._inputs()
+        inputs["prefs__mask"] = np.zeros_like(inputs["prefs__mask"])
+        base = tower(inputs).data
+        inputs_changed = dict(inputs)
+        inputs_changed["prefs"] = (inputs["prefs"] + 1) % 6
+        np.testing.assert_allclose(tower(inputs_changed).data, base)
+
+    def test_gradients_reach_bag_embeddings(self):
+        tower = Tower(
+            self._schema(), (GROUP_USER,),
+            TowerConfig(vector_dim=8, deep_dims=(16,), head_dims=(8,)),
+            rng=np.random.default_rng(1),
+        )
+        inputs = self._inputs()
+        out = tower(inputs)
+        out.sum().backward()
+        bag = tower._sequence_bags["prefs"]
+        assert bag.embedding.weight.grad is not None
+        assert np.abs(bag.embedding.weight.grad).sum() > 0
+
+
+class TestWorldSequenceColumns:
+    def test_world_emits_sequence_columns(self, tiny_tmall_world):
+        world = tiny_tmall_world
+        prefs = world.users["user_pref_categories"]
+        mask = world.users["user_pref_categories__mask"]
+        assert prefs.shape == (world.config.n_users, world.PREF_LIST_LEN)
+        assert mask.shape == prefs.shape
+        assert prefs.max() < world.config.n_categories
+
+    def test_mask_lengths_between_two_and_max(self, tiny_tmall_world):
+        lengths = tiny_tmall_world.users["user_pref_categories__mask"].sum(axis=1)
+        assert lengths.min() >= 2
+        assert lengths.max() <= tiny_tmall_world.PREF_LIST_LEN
+
+    def test_first_pref_matches_top_category(self, tiny_tmall_world):
+        world = tiny_tmall_world
+        np.testing.assert_array_equal(
+            world.users["user_pref_categories"][:, 0],
+            world.users["user_pref_category"],
+        )
+
+    def test_interactions_carry_sequence_columns(self, tiny_tmall_world):
+        features = tiny_tmall_world.interactions.features
+        assert "user_pref_categories" in features
+        assert features["user_pref_categories"].ndim == 2

@@ -1,0 +1,90 @@
+"""Tests for the shared synthetic-world helpers."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import noisy, sigmoid, standardize
+from repro.data.synthetic.common import segment_latents
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_symmetry(self, rng):
+        x = rng.normal(size=20)
+        np.testing.assert_allclose(sigmoid(x) + sigmoid(-x), 1.0, atol=1e-12)
+
+    def test_extreme_stability(self):
+        out = sigmoid(np.array([-1e6, 1e6]))
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+    def test_monotone(self, rng):
+        x = np.sort(rng.normal(size=50))
+        assert np.all(np.diff(sigmoid(x)) >= 0)
+
+
+class TestStandardize:
+    def test_zero_mean_unit_std(self, rng):
+        out = standardize(rng.normal(5.0, 3.0, size=1000))
+        assert out.mean() == pytest.approx(0.0, abs=1e-12)
+        assert out.std() == pytest.approx(1.0, abs=1e-12)
+
+    def test_constant_input_centred(self):
+        out = standardize(np.full(10, 7.0))
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_preserves_ordering(self, rng):
+        x = rng.normal(size=30)
+        np.testing.assert_array_equal(np.argsort(x), np.argsort(standardize(x)))
+
+
+class TestNoisy:
+    def test_zero_noise_is_copy(self, rng):
+        x = rng.normal(size=10)
+        out = noisy(x, 0.0, rng)
+        np.testing.assert_array_equal(out, x)
+        assert out is not x  # defensive copy
+
+    def test_noise_magnitude(self, rng):
+        x = np.zeros(20_000)
+        out = noisy(x, 0.5, rng)
+        assert out.std() == pytest.approx(0.5, rel=0.05)
+
+    def test_negative_noise_rejected(self, rng):
+        with pytest.raises(ValueError):
+            noisy(np.zeros(3), -0.1, rng)
+
+
+class TestSegmentLatents:
+    def test_shapes(self, rng):
+        segments, latents = segment_latents(100, 4, 6, rng)
+        assert segments.shape == (100,)
+        assert latents.shape == (100, 6)
+        assert segments.max() < 4
+
+    def test_within_segment_tighter_than_across(self, rng):
+        segments, latents = segment_latents(
+            600, 3, 4, rng, segment_spread=3.0, within_spread=0.3
+        )
+        within = []
+        across = []
+        centroids = np.array(
+            [latents[segments == s].mean(axis=0) for s in range(3)]
+        )
+        for s in range(3):
+            members = latents[segments == s]
+            within.append(
+                np.linalg.norm(members - centroids[s], axis=1).mean()
+            )
+        for a in range(3):
+            for b in range(a + 1, 3):
+                across.append(np.linalg.norm(centroids[a] - centroids[b]))
+        assert np.mean(within) < np.mean(across)
+
+    def test_invalid_sizes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            segment_latents(0, 3, 4, rng)
+        with pytest.raises(ValueError):
+            segment_latents(10, 0, 4, rng)

@@ -1,0 +1,135 @@
+"""Synthetic Tmall world: structural invariants the experiments rely on."""
+
+import numpy as np
+import pytest
+
+from repro.data import GROUP_ITEM_PROFILE, GROUP_ITEM_STAT, GROUP_USER
+from repro.data.synthetic import TmallConfig, TmallWorld, generate_tmall_world
+
+
+class TestGeneration:
+    def test_entity_counts(self, tiny_tmall_world):
+        world = tiny_tmall_world
+        assert len(world.users) == world.config.n_users
+        assert len(world.items) == world.config.n_items
+        assert len(world.new_items) == world.config.n_new_items
+        assert len(world.interactions) == world.config.n_interactions
+
+    def test_schema_covers_all_columns(self, tiny_tmall_world):
+        world = tiny_tmall_world
+        names = world.schema.feature_names(
+            GROUP_USER, GROUP_ITEM_PROFILE, GROUP_ITEM_STAT
+        )
+        for name in names:
+            assert name in world.items or name in world.users
+
+    def test_categorical_ids_within_vocab(self, tiny_tmall_world):
+        world = tiny_tmall_world
+        for feature in world.schema.categorical:
+            table = world.users if feature.group == GROUP_USER else world.items
+            values = table[feature.name]
+            assert values.min() >= 0
+            assert values.max() < feature.vocab_size
+
+    def test_deterministic_under_seed(self):
+        config = TmallConfig(
+            n_users=100, n_items=120, n_new_items=40, n_interactions=1000, seed=42
+        )
+        a = TmallWorld(config)
+        b = TmallWorld(config)
+        np.testing.assert_array_equal(
+            a.interactions.label("ctr"), b.interactions.label("ctr")
+        )
+        np.testing.assert_allclose(a.new_item_popularity, b.new_item_popularity)
+
+    def test_different_seeds_differ(self):
+        base = dict(n_users=100, n_items=120, n_new_items=40, n_interactions=1000)
+        a = TmallWorld(TmallConfig(seed=1, **base))
+        b = TmallWorld(TmallConfig(seed=2, **base))
+        assert not np.array_equal(
+            a.interactions.label("ctr"), b.interactions.label("ctr")
+        )
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            TmallConfig(n_users=0)
+
+
+class TestStructuralProperties:
+    def test_ctr_in_plausible_band(self, tiny_tmall_world):
+        ctr = tiny_tmall_world.interactions.label("ctr").mean()
+        assert 0.1 < ctr < 0.6
+
+    def test_popularity_is_probability(self, tiny_tmall_world):
+        popularity = tiny_tmall_world.new_item_popularity
+        assert popularity.min() >= 0.0 and popularity.max() <= 1.0
+
+    def test_statistics_informative_of_quality(self, tiny_tmall_world):
+        """Item statistics must be a strong quality signal (Table I lever)."""
+        world = tiny_tmall_world
+        corr = np.corrcoef(world.items["stat_hist_ctr"], world.item_quality)[0, 1]
+        assert corr > 0.5
+
+    def test_new_items_have_zero_statistics(self, tiny_tmall_world):
+        world = tiny_tmall_world
+        for name in world.schema.numeric_names(GROUP_ITEM_STAT):
+            np.testing.assert_allclose(world.new_items[name], 0.0)
+
+    def test_released_items_have_nonzero_statistics(self, tiny_tmall_world):
+        world = tiny_tmall_world
+        assert np.abs(world.items["stat_log_pv"]).sum() > 0
+
+    def test_quality_reachable_from_profiles(self, tiny_tmall_world):
+        """Brand tier x seller reputation (hidden) dominates quality, so the
+        per-brand mean quality must vary — the signal embeddings learn."""
+        world = tiny_tmall_world
+        brands = world.items["item_brand"]
+        means = np.array(
+            [world.item_quality[brands == b].mean()
+             for b in np.unique(brands) if (brands == b).sum() >= 3]
+        )
+        assert means.std() > 0.2
+
+    def test_labels_follow_click_probabilities(self, tiny_tmall_world):
+        world = tiny_tmall_world
+        probabilities = world.click_probability(
+            world.interaction_user_indices,
+            world.interaction_item_indices,
+            world.item_latents,
+            world.item_quality,
+        )
+        labels = world.interactions.label("ctr")
+        # Binned calibration: higher predicted probability -> higher CTR.
+        order = np.argsort(probabilities)
+        n = len(order) // 3
+        low = labels[order[:n]].mean()
+        high = labels[order[-n:]].mean()
+        assert high > low + 0.2
+
+    def test_interaction_features_match_entity_tables(self, tiny_tmall_world):
+        world = tiny_tmall_world
+        row = 17
+        user = world.interaction_user_indices[row]
+        item = world.interaction_item_indices[row]
+        assert world.interactions.features["user_id"][row] == user
+        assert (
+            world.interactions.features["item_brand"][row]
+            == world.items["item_brand"][item]
+        )
+
+
+class TestActiveUserGroup:
+    def test_size(self, tiny_tmall_world):
+        group = tiny_tmall_world.active_user_group(0.1)
+        assert len(group) == round(tiny_tmall_world.config.n_users * 0.1)
+
+    def test_selects_most_active(self, tiny_tmall_world):
+        world = tiny_tmall_world
+        group = world.active_user_group(0.1)
+        threshold = np.sort(world.user_activity)[::-1][len(group) - 1]
+        chosen_activity = world.user_activity[group["user_id"]]
+        assert chosen_activity.min() >= threshold
+
+    def test_invalid_fraction_rejected(self, tiny_tmall_world):
+        with pytest.raises(ValueError):
+            tiny_tmall_world.active_user_group(0.0)

@@ -1,0 +1,32 @@
+"""CLI surface tests (no heavy experiments run here)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert args.preset == "default"
+        assert args.output is None
+
+    def test_preset_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--preset", "huge"])
+
+    def test_output_path(self, tmp_path):
+        args = build_parser().parse_args(["table1", "--output", str(tmp_path)])
+        assert args.output == tmp_path
+
+
+class TestMain:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "complexity" in out
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["definitely-not-real"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,49 @@
+"""CLI glue tests with a stubbed experiment (no training)."""
+
+import json
+
+import pytest
+
+import repro.cli as cli
+
+
+class _FakeResult:
+    def render(self) -> str:
+        return "FAKE TABLE"
+
+    def as_dict(self):
+        return {"metric": 1.5}
+
+
+class TestMainWithStub:
+    def test_runs_and_prints(self, monkeypatch, capsys):
+        monkeypatch.setattr(cli, "run_experiment", lambda name, preset: _FakeResult())
+        assert cli.main(["table1", "--preset", "smoke"]) == 0
+        assert "FAKE TABLE" in capsys.readouterr().out
+
+    def test_json_output_written(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setattr(cli, "run_experiment", lambda name, preset: _FakeResult())
+        assert cli.main(["table1", "--output", str(tmp_path)]) == 0
+        payload = json.loads((tmp_path / "table1.json").read_text())
+        assert payload == {"metric": 1.5}
+
+    def test_result_without_as_dict_skips_json(self, monkeypatch, tmp_path):
+        class _Plain:
+            def render(self):
+                return "PLAIN"
+
+        monkeypatch.setattr(cli, "run_experiment", lambda name, preset: _Plain())
+        assert cli.main(["complexity", "--output", str(tmp_path)]) == 0
+        assert not (tmp_path / "complexity.json").exists()
+
+    def test_preset_forwarded(self, monkeypatch):
+        captured = {}
+
+        def fake_run(name, preset):
+            captured["name"] = name
+            captured["preset"] = preset
+            return _FakeResult()
+
+        monkeypatch.setattr(cli, "run_experiment", fake_run)
+        cli.main(["table2", "--preset", "smoke"])
+        assert captured == {"name": "table2", "preset": "smoke"}

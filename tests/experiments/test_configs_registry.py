@@ -1,0 +1,55 @@
+"""Experiment preset and registry tests."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    PRESETS,
+    available_experiments,
+    get_preset,
+    run_experiment,
+)
+
+
+class TestPresets:
+    def test_all_presets_resolvable(self):
+        for name in ("smoke", "default", "paper"):
+            preset = get_preset(name)
+            assert preset.name == name
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            get_preset("gigantic")
+
+    def test_sizes_ordered(self):
+        smoke = get_preset("smoke")
+        default = get_preset("default")
+        paper = get_preset("paper")
+        assert (
+            smoke.tmall.n_interactions
+            < default.tmall.n_interactions
+            < paper.tmall.n_interactions
+        )
+
+    def test_paper_preset_uses_paper_tower(self):
+        paper = get_preset("paper")
+        assert paper.tower.vector_dim == 128
+        assert paper.tower.deep_dims == (512, 256, 128)
+
+    def test_presets_mapping_consistent(self):
+        assert set(PRESETS) == {"smoke", "default", "paper"}
+
+
+class TestRegistry:
+    def test_all_tables_registered(self):
+        names = available_experiments()
+        for table in ("table1", "table2", "table3", "table4", "table5"):
+            assert table in names
+        assert "complexity" in names
+
+    def test_registry_matches_available(self):
+        assert sorted(EXPERIMENTS) == available_experiments()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("table99")

@@ -1,0 +1,180 @@
+"""Unit tests of experiment result objects (no training involved)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    AblationResult,
+    AblationRow,
+    ComplexityResult,
+    ComplexityRow,
+    RetrievalResult,
+    ServingEvalResult,
+    ServingStage,
+    SweepPoint,
+    SweepResult,
+    Table1Result,
+    Table1Row,
+    Table3Result,
+    Table4Result,
+    Table5Result,
+    TrainingCurves,
+)
+
+
+class TestTable1Objects:
+    def test_degradation_property(self):
+        row = Table1Row("X", auc_profile_only=0.6, auc_complete=0.8)
+        assert row.degradation == pytest.approx(-0.25)
+
+    def test_row_lookup_and_missing(self):
+        result = Table1Result(rows=[Table1Row("A", 0.6, 0.7)], preset="smoke")
+        assert result.row("A").auc_complete == 0.7
+        with pytest.raises(KeyError):
+            result.row("B")
+
+    def test_custom_title_rendered(self):
+        result = Table1Result(
+            rows=[Table1Row("A", 0.6, 0.7)], preset="smoke", title="Custom"
+        )
+        assert result.render().startswith("Custom")
+
+    def test_as_dict(self):
+        result = Table1Result(rows=[Table1Row("A", 0.6, 0.8)], preset="smoke")
+        data = result.as_dict()
+        assert data["A"]["degradation"] == pytest.approx(-0.25)
+
+
+class TestABResults:
+    def test_table3_improvement(self):
+        result = Table3Result(
+            expert_days=10.0, atnn_days=9.0, n_selected=100, preset="smoke"
+        )
+        assert result.improvement == pytest.approx(0.1)
+        assert "Improvement" in result.render()
+
+    def test_table4_improvements(self):
+        result = Table4Result(
+            tnn_dcn_vppv_mae=0.08,
+            tnn_dcn_gmv_mae=1.0,
+            atnn_vppv_mae=0.06,
+            atnn_gmv_mae=0.8,
+            preset="smoke",
+        )
+        assert result.vppv_improvement == pytest.approx(0.25)
+        assert result.gmv_improvement == pytest.approx(0.2)
+        assert result.as_dict()["vppv_improvement"] == pytest.approx(0.25)
+
+    def test_table5_improvements(self):
+        result = Table5Result(
+            expert_vppv=0.25,
+            expert_gmv=200.0,
+            atnn_vppv=0.30,
+            atnn_gmv=220.0,
+            n_selected=50,
+            preset="smoke",
+        )
+        assert result.vppv_improvement == pytest.approx(0.2)
+        assert result.gmv_improvement == pytest.approx(0.1)
+        assert "ATNN" in result.render()
+
+
+class TestComplexityObjects:
+    def test_speedup(self):
+        row = ComplexityRow(
+            n_users=100,
+            mean_vector_seconds_per_item=1e-6,
+            pairwise_seconds_per_item=1e-4,
+        )
+        assert row.speedup == pytest.approx(100.0)
+
+    def test_speedup_zero_denominator(self):
+        row = ComplexityRow(100, 0.0, 1e-4)
+        assert row.speedup == float("inf")
+
+    def test_render_contains_agreement(self):
+        result = ComplexityResult(
+            rows=[ComplexityRow(100, 1e-6, 1e-4)],
+            rank_agreement=0.99,
+            n_items=10,
+            preset="smoke",
+        )
+        assert "0.9900" in result.render()
+
+
+class TestAblationObjects:
+    def test_best_by_generator_auc(self):
+        result = AblationResult(
+            name="x",
+            rows=[
+                AblationRow("a", auc_generator=0.6, auc_encoder=0.7),
+                AblationRow("b", auc_generator=0.65, auc_encoder=0.6),
+            ],
+            preset="smoke",
+        )
+        assert result.best().setting == "b"
+        assert "Ablation: x" in result.render()
+
+
+class TestSweepObjects:
+    def _result(self):
+        return SweepResult(
+            points=[
+                SweepPoint({"lr": 0.01}, auc_generator=0.6, auc_encoder=0.61),
+                SweepPoint({"lr": 0.1}, auc_generator=0.7, auc_encoder=0.69),
+            ],
+            preset="smoke",
+        )
+
+    def test_best(self):
+        assert self._result().best().settings == {"lr": 0.1}
+        assert self._result().best(by="auc_encoder").settings == {"lr": 0.1}
+
+    def test_best_unknown_criterion(self):
+        with pytest.raises(ValueError):
+            self._result().best(by="loss")
+
+    def test_render_sorted_best_first(self):
+        rendered = self._result().render()
+        assert rendered.index("lr=0.1") < rendered.index("lr=0.01")
+
+
+class TestServingAndCurves:
+    def test_serving_result_properties(self):
+        result = ServingEvalResult(
+            stages=[
+                ServingStage(0, 0, 0.5),
+                ServingStage(1000, 10, 0.7),
+            ],
+            preset="smoke",
+        )
+        assert result.cold_quality == 0.5
+        assert result.warm_quality == 0.7
+        assert "Serving warm-up" in result.render()
+
+    def test_training_curves_render(self):
+        curves = TrainingCurves(
+            loss_i=[0.6, 0.5],
+            loss_g=[0.65, 0.55],
+            loss_s=[0.2, 0.1],
+            auc_encoder=[0.6, 0.65],
+            auc_generator=[0.58, 0.64],
+            preset="smoke",
+        )
+        assert curves.n_epochs == 2
+        rendered = curves.render()
+        assert "L_s" in rendered and "0.1000" in rendered
+
+
+class TestRetrievalResultObject:
+    def test_metric_lookup(self):
+        result = RetrievalResult(
+            reports={
+                "A": {"hit_rate": 0.9, "recall": 0.5, "ndcg": 0.6,
+                      "mrr": 0.7, "n_users": 10.0}
+            },
+            k=5,
+            preset="smoke",
+        )
+        assert result.metric("A", "ndcg") == 0.6
+        assert "NDCG@5" in result.render()

@@ -1,0 +1,73 @@
+"""Tests for the supplementary experiments (serving, curves, extended)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    build_tmall_artifacts,
+    run_extended_baselines,
+    run_serving_eval,
+    run_training_curves,
+)
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    return build_tmall_artifacts("smoke")
+
+
+class TestServingEval:
+    @pytest.fixture(scope="class")
+    def result(self, artifacts):
+        return run_serving_eval(
+            "smoke", artifacts=artifacts, event_batches=(0, 5_000)
+        )
+
+    def test_stage_count(self, result):
+        assert len(result.stages) == 2
+
+    def test_cold_stage_has_no_warm_items(self, result):
+        assert result.stages[0].warm_items == 0
+        assert result.stages[0].events_total == 0
+
+    def test_events_accumulate(self, result):
+        assert result.stages[1].events_total >= 5_000
+
+    def test_quality_improves_with_events(self, result):
+        assert result.warm_quality > result.cold_quality
+
+    def test_render(self, result):
+        assert "Serving warm-up" in result.render()
+
+
+class TestTrainingCurves:
+    @pytest.fixture(scope="class")
+    def curves(self, artifacts):
+        return run_training_curves("smoke", world=artifacts.world, epochs=2)
+
+    def test_series_lengths_match(self, curves):
+        assert curves.n_epochs == 2
+        assert len(curves.auc_encoder) == 2
+        assert len(curves.loss_s) == 2
+
+    def test_similarity_loss_decreases(self, curves):
+        assert curves.loss_s[-1] < curves.loss_s[0]
+
+    def test_render_has_epoch_rows(self, curves):
+        rendered = curves.render()
+        assert "Epoch" in rendered and "L_s" in rendered
+
+
+class TestExtendedBaselines:
+    def test_subset_run(self, artifacts):
+        result = run_extended_baselines(
+            "smoke", world=artifacts.world, models=["LR"], include_atnn=False
+        )
+        assert [row.model for row in result.rows] == ["LR"]
+        assert 0.5 < result.row("LR").auc_complete < 0.9
+
+    def test_unknown_model_rejected(self, artifacts):
+        with pytest.raises(ValueError):
+            run_extended_baselines(
+                "smoke", world=artifacts.world, models=["SVM"], include_atnn=False
+            )

@@ -1,0 +1,223 @@
+"""Tests for the from-scratch histogram gradient boosting."""
+
+import numpy as np
+import pytest
+
+from repro.gbdt import (
+    BinMapper,
+    GBDTClassifier,
+    GBDTRegressor,
+    LogisticLoss,
+    RegressionTree,
+    SquaredLoss,
+)
+
+
+class TestBinMapper:
+    def test_transform_before_fit_rejected(self, rng):
+        with pytest.raises(RuntimeError):
+            BinMapper().transform(rng.normal(size=(5, 2)))
+
+    def test_bins_within_budget(self, rng):
+        mapper = BinMapper(max_bins=16)
+        codes = mapper.fit_transform(rng.normal(size=(500, 3)))
+        assert codes.max() < 16
+        assert codes.dtype == np.uint8
+
+    def test_monotone_in_value(self, rng):
+        mapper = BinMapper(max_bins=8)
+        x = np.sort(rng.normal(size=200))[:, None]
+        codes = mapper.fit_transform(x)[:, 0]
+        assert np.all(np.diff(codes.astype(int)) >= 0)
+
+    def test_constant_column_single_bin(self):
+        mapper = BinMapper()
+        codes = mapper.fit_transform(np.ones((50, 1)))
+        assert len(set(codes[:, 0])) == 1
+
+    def test_feature_count_mismatch_rejected(self, rng):
+        mapper = BinMapper().fit(rng.normal(size=(10, 2)))
+        with pytest.raises(ValueError):
+            mapper.transform(rng.normal(size=(10, 3)))
+
+    def test_invalid_max_bins_rejected(self):
+        with pytest.raises(ValueError):
+            BinMapper(max_bins=1)
+
+    def test_unseen_extremes_clamped(self, rng):
+        mapper = BinMapper(max_bins=8).fit(rng.normal(size=(100, 1)))
+        codes = mapper.transform(np.array([[1e9], [-1e9]]))
+        assert codes[0, 0] == mapper.n_bins_[0] - 1
+        assert codes[1, 0] == 0
+
+
+class TestLosses:
+    def test_logistic_initial_score_is_logodds(self):
+        y = np.array([1.0, 1.0, 0.0, 0.0, 1.0, 1.0])  # rate 2/3
+        expected = np.log((2 / 3) / (1 / 3))
+        assert LogisticLoss.initial_score(y) == pytest.approx(expected)
+
+    def test_logistic_gradients(self):
+        scores = np.array([0.0])
+        grad, hess = LogisticLoss.gradients(scores, np.array([1.0]))
+        assert grad[0] == pytest.approx(-0.5)
+        assert hess[0] == pytest.approx(0.25)
+
+    def test_squared_gradients(self):
+        grad, hess = SquaredLoss.gradients(np.array([3.0]), np.array([1.0]))
+        assert grad[0] == 2.0 and hess[0] == 1.0
+
+    def test_squared_initial_score_is_mean(self):
+        assert SquaredLoss.initial_score(np.array([1.0, 3.0])) == 2.0
+
+
+class TestRegressionTree:
+    def test_learns_step_function(self, rng):
+        x = rng.uniform(-1, 1, size=(500, 1))
+        y = np.where(x[:, 0] > 0.2, 1.0, -1.0)
+        mapper = BinMapper(max_bins=32)
+        binned = mapper.fit_transform(x)
+        tree = RegressionTree(max_depth=2, min_samples_leaf=5)
+        # Squared loss: grad = pred - y with pred = 0.
+        tree.fit(binned, -y, np.ones_like(y), mapper.n_bins_)
+        predictions = tree.predict(binned)
+        assert np.corrcoef(predictions, y)[0, 1] > 0.95
+
+    def test_respects_max_depth(self, rng):
+        x = rng.normal(size=(400, 3))
+        y = rng.normal(size=400)
+        mapper = BinMapper()
+        binned = mapper.fit_transform(x)
+        tree = RegressionTree(max_depth=1, min_samples_leaf=5)
+        tree.fit(binned, -y, np.ones_like(y), mapper.n_bins_)
+        assert tree.n_leaves <= 2
+
+    def test_min_samples_leaf_respected(self, rng):
+        x = rng.normal(size=(100, 2))
+        y = rng.normal(size=100)
+        mapper = BinMapper()
+        binned = mapper.fit_transform(x)
+        tree = RegressionTree(max_depth=8, min_samples_leaf=40)
+        tree.fit(binned, -y, np.ones_like(y), mapper.n_bins_)
+        leaf_sizes = [n.n_samples for n in tree.nodes if n.is_leaf and n.n_samples]
+        assert min(leaf_sizes) >= 40
+
+    def test_pure_leaf_value_is_newton_step(self):
+        binned = np.zeros((10, 1), dtype=np.uint8)
+        grad = np.full(10, 2.0)
+        hess = np.ones(10)
+        tree = RegressionTree(max_depth=2, reg_lambda=0.0)
+        tree.fit(binned, grad, hess, np.array([1]))
+        assert tree.predict(binned)[0] == pytest.approx(-2.0)
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((2, 1), dtype=np.uint8))
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=0)
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_leaf=0)
+
+    def test_feature_gains_identify_signal(self, rng):
+        x = rng.normal(size=(600, 3))
+        y = (x[:, 1] > 0).astype(float) * 2 - 1
+        mapper = BinMapper()
+        binned = mapper.fit_transform(x)
+        tree = RegressionTree(max_depth=3)
+        tree.fit(binned, -y, np.ones_like(y), mapper.n_bins_)
+        gains = tree.feature_gains(3)
+        assert gains[1] == gains.max()
+
+
+class TestBoosting:
+    def _classification_data(self, rng, n=2500):
+        X = rng.normal(size=(n, 5))
+        logit = 2.0 * X[:, 0] - 1.5 * X[:, 1] * X[:, 2]
+        y = (logit + 0.3 * rng.normal(size=n) > 0).astype(float)
+        return X, y
+
+    def test_classifier_beats_chance(self, rng):
+        X, y = self._classification_data(rng)
+        model = GBDTClassifier(n_estimators=40, max_depth=4, learning_rate=0.2)
+        model.fit(X[:2000], y[:2000])
+        accuracy = (model.predict(X[2000:]) == y[2000:]).mean()
+        assert accuracy > 0.85
+
+    def test_predict_proba_in_unit_interval(self, rng):
+        X, y = self._classification_data(rng, n=600)
+        model = GBDTClassifier(n_estimators=10, max_depth=3)
+        model.fit(X, y)
+        probabilities = model.predict_proba(X)
+        assert probabilities.min() >= 0.0 and probabilities.max() <= 1.0
+
+    def test_train_loss_decreases(self, rng):
+        X, y = self._classification_data(rng, n=800)
+        model = GBDTClassifier(n_estimators=30, max_depth=3, learning_rate=0.3)
+        model.fit(X, y)
+        assert model.train_losses_[-1] < model.train_losses_[0]
+
+    def test_early_stopping_truncates(self, rng):
+        X, y = self._classification_data(rng, n=1200)
+        model = GBDTClassifier(
+            n_estimators=200,
+            max_depth=6,
+            learning_rate=0.5,
+            early_stopping_rounds=5,
+        )
+        model.fit(X[:800], y[:800], eval_set=(X[800:], y[800:]))
+        assert len(model.trees_) < 200
+
+    def test_regressor_fits_nonlinearity(self, rng):
+        X = rng.normal(size=(2000, 3))
+        y = X[:, 0] ** 2 + 0.1 * rng.normal(size=2000)
+        model = GBDTRegressor(n_estimators=60, max_depth=4, learning_rate=0.2)
+        model.fit(X[:1500], y[:1500])
+        mse = np.mean((model.predict(X[1500:]) - y[1500:]) ** 2)
+        assert mse < 0.3 * y.var()
+
+    def test_subsample_still_learns(self, rng):
+        X, y = self._classification_data(rng, n=1500)
+        model = GBDTClassifier(
+            n_estimators=40, max_depth=4, learning_rate=0.2, subsample=0.5
+        )
+        model.fit(X[:1000], y[:1000])
+        accuracy = (model.predict(X[1000:]) == y[1000:]).mean()
+        assert accuracy > 0.8
+
+    def test_predict_before_fit_rejected(self, rng):
+        model = GBDTClassifier()
+        with pytest.raises(RuntimeError):
+            model.predict_proba(rng.normal(size=(3, 2)))
+
+    def test_bad_shapes_rejected(self, rng):
+        model = GBDTClassifier()
+        with pytest.raises(ValueError):
+            model.fit(rng.normal(size=(10,)), np.zeros(10))
+        with pytest.raises(ValueError):
+            model.fit(rng.normal(size=(10, 2)), np.zeros(9))
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ValueError):
+            GBDTClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            GBDTClassifier(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GBDTClassifier(subsample=1.5)
+
+    def test_feature_importances_normalised(self, rng):
+        X, y = self._classification_data(rng, n=800)
+        model = GBDTClassifier(n_estimators=10, max_depth=3)
+        model.fit(X, y)
+        importances = model.feature_importances(5)
+        assert importances.sum() == pytest.approx(1.0)
+        assert importances[0] > 0.1  # the strongest raw feature
+
+    def test_deterministic_under_seed(self, rng):
+        X, y = self._classification_data(rng, n=600)
+        a = GBDTClassifier(n_estimators=5, random_state=3, subsample=0.8)
+        b = GBDTClassifier(n_estimators=5, random_state=3, subsample=0.8)
+        a.fit(X, y)
+        b.fit(X, y)
+        np.testing.assert_allclose(a.predict_proba(X), b.predict_proba(X))

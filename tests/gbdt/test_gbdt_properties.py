@@ -1,0 +1,71 @@
+"""Property-based tests for the GBDT substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gbdt import BinMapper, GBDTClassifier, GBDTRegressor
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**32 - 1), st.integers(2, 32))
+def test_bin_codes_always_within_budget(seed, max_bins):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(100, 3)) * rng.lognormal(size=3)
+    mapper = BinMapper(max_bins=max_bins)
+    codes = mapper.fit_transform(X)
+    assert codes.max() < max_bins
+    assert codes.min() >= 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_binning_preserves_column_order(seed):
+    """Larger raw values never get smaller bin codes (per column)."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(80, 2))
+    mapper = BinMapper(max_bins=16)
+    codes = mapper.fit_transform(X)
+    for column in range(2):
+        order = np.argsort(X[:, column])
+        assert np.all(np.diff(codes[order, column].astype(int)) >= 0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_classifier_train_loss_never_increases_with_more_trees(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(300, 4))
+    y = (X[:, 0] + 0.5 * rng.normal(size=300) > 0).astype(float)
+    model = GBDTClassifier(
+        n_estimators=15, max_depth=3, learning_rate=0.3, min_samples_leaf=5
+    )
+    model.fit(X, y)
+    losses = np.array(model.train_losses_)
+    assert np.all(np.diff(losses) <= 1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_regressor_predictions_finite_on_shifted_inputs(seed):
+    """Out-of-range feature values must still yield finite predictions."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(200, 3))
+    y = X[:, 0] + rng.normal(size=200) * 0.1
+    model = GBDTRegressor(n_estimators=10, max_depth=3)
+    model.fit(X, y)
+    extreme = X * 1e6
+    predictions = model.predict(extreme)
+    assert np.isfinite(predictions).all()
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_constant_target_regressor_predicts_constant(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(100, 2))
+    y = np.full(100, 3.25)
+    model = GBDTRegressor(n_estimators=5, max_depth=3)
+    model.fit(X, y)
+    np.testing.assert_allclose(model.predict(X), 3.25, atol=1e-6)

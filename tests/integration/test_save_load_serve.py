@@ -1,0 +1,102 @@
+"""Integration: train → save → load → serve roundtrip, plus sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.core import ATNN, ATNNTrainer, PopularityPredictor, TowerConfig
+from repro.experiments.sweeps import run_atnn_sweep
+from repro.serving import EngineConfig, RealTimeEngine
+from repro.utils import load_model, save_model
+
+
+class TestSaveLoadServe:
+    def test_full_roundtrip(self, tiny_tmall_world, tiny_tower_config, tmp_path):
+        world = tiny_tmall_world
+        train = world.interactions.subset(np.arange(3000))
+
+        model = ATNN(
+            world.schema, tiny_tower_config, rng=np.random.default_rng(1)
+        )
+        ATNNTrainer(epochs=1, batch_size=512, lr=2e-3).fit(model, train)
+
+        path = tmp_path / "atnn.npz"
+        save_model(model, path)
+
+        # A differently initialised model becomes identical after loading.
+        clone = ATNN(
+            world.schema, tiny_tower_config, rng=np.random.default_rng(999)
+        )
+        load_model(clone, path)
+
+        predictor_a = PopularityPredictor(model)
+        predictor_b = PopularityPredictor(clone)
+        group = world.active_user_group(0.2)
+        predictor_a.fit_user_group(group)
+        predictor_b.fit_user_group(group)
+        np.testing.assert_allclose(
+            predictor_a.score_items(world.new_items),
+            predictor_b.score_items(world.new_items),
+        )
+
+        # The loaded model also serves through the real-time engine.
+        engine = RealTimeEngine(
+            clone, world.new_items, group, EngineConfig(warm_view_threshold=5)
+        )
+        top = engine.top_promotion_candidates(5)
+        assert len(top) == 5
+
+    def test_shared_embeddings_survive_roundtrip(
+        self, tiny_tmall_world, tiny_tower_config, tmp_path
+    ):
+        """Sharing is structural: after load, generator and encoder still
+        reference one table and stay numerically in sync."""
+        world = tiny_tmall_world
+        model = ATNN(
+            world.schema, tiny_tower_config, rng=np.random.default_rng(1)
+        )
+        path = tmp_path / "atnn.npz"
+        save_model(model, path)
+        clone = ATNN(
+            world.schema, tiny_tower_config, rng=np.random.default_rng(2)
+        )
+        load_model(clone, path)
+        assert clone.generator.embeddings is clone.item_encoder.embeddings
+        np.testing.assert_allclose(
+            clone.generator.embeddings.table("item_brand").weight.data,
+            model.generator.embeddings.table("item_brand").weight.data,
+        )
+
+
+class TestSweeps:
+    def test_grid_covers_product(self, tiny_tmall_world):
+        result = run_atnn_sweep(
+            {"lr": [2e-3], "num_cross_layers": [0, 1]},
+            preset="smoke",
+            world=tiny_tmall_world,
+        )
+        assert len(result.points) == 2
+        labels = {point.label() for point in result.points}
+        assert any("num_cross_layers=0" in label for label in labels)
+
+    def test_best_selection(self, tiny_tmall_world):
+        result = run_atnn_sweep(
+            {"lr": [2e-3], "num_cross_layers": [1]},
+            preset="smoke",
+            world=tiny_tmall_world,
+        )
+        best = result.best()
+        assert best.auc_generator == max(p.auc_generator for p in result.points)
+
+    def test_render(self, tiny_tmall_world):
+        result = run_atnn_sweep(
+            {"lr": [2e-3]}, preset="smoke", world=tiny_tmall_world
+        )
+        assert "Cold-start AUC" in result.render()
+
+    def test_unknown_parameter_rejected(self, tiny_tmall_world):
+        with pytest.raises(ValueError):
+            run_atnn_sweep({"dropout": [0.1]}, world=tiny_tmall_world)
+
+    def test_empty_grid_rejected(self, tiny_tmall_world):
+        with pytest.raises(ValueError):
+            run_atnn_sweep({}, world=tiny_tmall_world)

@@ -1,0 +1,85 @@
+"""AUC tests, including tie handling and hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import roc_auc
+
+
+class TestKnownValues:
+    def test_perfect_ranking(self):
+        assert roc_auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_ranking(self):
+        assert roc_auc([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_constant_scores(self):
+        assert roc_auc([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == 0.5
+
+    def test_hand_computed(self):
+        # Positives at scores 0.8, 0.4; negatives at 0.6, 0.2.
+        # Pairs: (0.8>0.6), (0.8>0.2), (0.4<0.6), (0.4>0.2) -> 3/4.
+        assert roc_auc([1, 1, 0, 0], [0.8, 0.4, 0.6, 0.2]) == 0.75
+
+    def test_tie_counts_half(self):
+        # Positive at 0.5 ties negative at 0.5: one clean win + one tie of 2 pairs.
+        assert roc_auc([1, 0], [0.5, 0.5]) == 0.5
+
+    def test_matches_naive_pair_counting(self, rng):
+        labels = (rng.random(100) < 0.3).astype(float)
+        scores = np.round(rng.random(100), 1)  # many ties
+        positives = scores[labels == 1]
+        negatives = scores[labels == 0]
+        wins = sum((p > n) + 0.5 * (p == n) for p in positives for n in negatives)
+        expected = wins / (len(positives) * len(negatives))
+        assert roc_auc(labels, scores) == pytest.approx(expected)
+
+
+class TestValidation:
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc([1, 1], [0.5, 0.6])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc([0, 2], [0.5, 0.6])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc([0, 1], [0.5])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.booleans(), min_size=4, max_size=40).filter(
+        lambda labels: 0 < sum(labels) < len(labels)
+    ),
+    st.integers(0, 2**32 - 1),
+)
+def test_auc_invariant_to_monotone_transform(labels, seed):
+    rng = np.random.default_rng(seed)
+    labels = np.array(labels, dtype=float)
+    scores = rng.normal(size=labels.size)
+    base = roc_auc(labels, scores)
+    assert roc_auc(labels, 3.0 * scores + 2.0) == pytest.approx(base)
+    assert roc_auc(labels, np.exp(scores)) == pytest.approx(base)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.booleans(), min_size=4, max_size=40).filter(
+        lambda labels: 0 < sum(labels) < len(labels)
+    ),
+    st.integers(0, 2**32 - 1),
+)
+def test_auc_flips_under_negation(labels, seed):
+    rng = np.random.default_rng(seed)
+    labels = np.array(labels, dtype=float)
+    scores = rng.normal(size=labels.size)
+    assert roc_auc(labels, scores) + roc_auc(labels, -scores) == pytest.approx(1.0)

@@ -1,0 +1,112 @@
+"""Business metric tests: degradation, quintile panel, rank correlation."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    performance_degradation,
+    popularity_group_panel,
+    rank_correlation,
+)
+
+
+class TestDegradation:
+    def test_matches_paper_formula(self):
+        # GBDT row of Table I: (0.6149 - 0.6590) / 0.6590 = -6.69%.
+        value = performance_degradation(0.6149, 0.6590)
+        assert value == pytest.approx(-0.0669, abs=1e-4)
+
+    def test_no_degradation(self):
+        assert performance_degradation(0.7, 0.7) == 0.0
+
+    def test_improvement_positive(self):
+        assert performance_degradation(0.8, 0.7) > 0
+
+    def test_invalid_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            performance_degradation(0.5, 0.0)
+
+
+class TestQuintilePanel:
+    def _panel(self):
+        scores = np.arange(100, dtype=float)  # best items have highest score
+        ipv = scores * 10  # perfectly aligned indicator
+        return popularity_group_panel(scores, {"IPV": {7: ipv}}, n_groups=5)
+
+    def test_group_labels(self):
+        panel = self._panel()
+        assert panel.group_labels == [
+            "0-20", "20-40", "40-60", "60-80", "80-100", "Average",
+        ]
+
+    def test_top_group_first_and_best(self):
+        panel = self._panel()
+        column = panel.column("IPV", 7)
+        assert column[0] == max(column[:5])
+
+    def test_average_row_is_population_mean(self):
+        panel = self._panel()
+        assert panel.column("IPV", 7)[-1] == pytest.approx(10 * np.arange(100).mean())
+
+    def test_monotone_detection(self):
+        panel = self._panel()
+        assert panel.is_monotone("IPV", 7)
+
+    def test_monotone_tolerance(self):
+        # Groups (best first): {9,8}, {7,6}, {5,4}, {3,2}, {1,0} by score.
+        # Depress the top group's values to 6.0 so it inverts below the
+        # second group's 6.5 by 0.5 — inside a 20%-of-mean tolerance.
+        scores = np.arange(10, dtype=float)
+        values = scores.copy()
+        values[[8, 9]] = 6.0
+        panel = popularity_group_panel(scores, {"x": {1: values}}, n_groups=5)
+        assert not panel.is_monotone("x", 1)
+        assert panel.is_monotone("x", 1, tolerance=0.2)
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(KeyError):
+            self._panel().column("GMV", 7)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            popularity_group_panel(
+                np.arange(10, dtype=float), {"x": {1: np.zeros(9)}}
+            )
+
+    def test_too_few_items_rejected(self):
+        with pytest.raises(ValueError):
+            popularity_group_panel(np.array([1.0, 2.0]), {"x": {1: np.zeros(2)}})
+
+    def test_inverse_alignment_not_monotone(self):
+        scores = np.arange(50, dtype=float)
+        panel = popularity_group_panel(scores, {"x": {1: -scores}}, n_groups=5)
+        assert not panel.is_monotone("x", 1)
+
+
+class TestRankCorrelation:
+    def test_identical_orderings(self, rng):
+        values = rng.normal(size=50)
+        assert rank_correlation(values, values * 2 + 1) == pytest.approx(1.0)
+
+    def test_reversed_orderings(self, rng):
+        values = rng.normal(size=50)
+        assert rank_correlation(values, -values) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self, rng):
+        a = rng.normal(size=5000)
+        b = rng.normal(size=5000)
+        assert abs(rank_correlation(a, b)) < 0.05
+
+    def test_ties_handled(self):
+        assert rank_correlation([1, 1, 2, 2], [1, 1, 2, 2]) == pytest.approx(1.0)
+
+    def test_constant_input_zero(self):
+        assert rank_correlation([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rank_correlation([1.0], [1.0, 2.0])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            rank_correlation([1.0], [1.0])

@@ -1,0 +1,159 @@
+"""Calibration (Platt, isotonic) and grouped-AUC tests."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    IsotonicCalibrator,
+    PlattScaler,
+    calibration_error,
+    grouped_auc,
+    roc_auc,
+)
+
+
+def _miscalibrated_data(rng, n=4000):
+    """Labels drawn from true probabilities; scores systematically skewed."""
+    true_p = rng.uniform(0.05, 0.95, size=n)
+    labels = (rng.random(n) < true_p).astype(float)
+    skewed = np.clip(true_p ** 2.5, 1e-6, 1 - 1e-6)  # under-confident low end
+    return skewed, labels
+
+
+class TestPlattScaler:
+    def test_improves_calibration(self, rng):
+        scores, labels = _miscalibrated_data(rng)
+        calibrated = PlattScaler(iterations=2000, lr=0.5).fit_transform(scores, labels)
+        assert calibration_error(labels, calibrated) < calibration_error(
+            labels, scores
+        )
+
+    def test_preserves_auc(self, rng):
+        scores, labels = _miscalibrated_data(rng)
+        calibrated = PlattScaler().fit_transform(scores, labels)
+        assert roc_auc(labels, calibrated) == pytest.approx(
+            roc_auc(labels, scores), abs=1e-9
+        )
+
+    def test_outputs_probabilities(self, rng):
+        scores, labels = _miscalibrated_data(rng, n=500)
+        out = PlattScaler().fit_transform(scores, labels)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            PlattScaler().transform([0.5])
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            PlattScaler().fit([0.5], [1.0])  # too few
+        with pytest.raises(ValueError):
+            PlattScaler().fit([0.5, 0.6], [0.0, 2.0])  # non-binary
+        with pytest.raises(ValueError):
+            PlattScaler(iterations=0)
+
+
+class TestIsotonicCalibrator:
+    def test_improves_calibration(self, rng):
+        scores, labels = _miscalibrated_data(rng)
+        calibrated = IsotonicCalibrator().fit_transform(scores, labels)
+        assert calibration_error(labels, calibrated) < calibration_error(
+            labels, scores
+        )
+
+    def test_output_monotone_in_score(self, rng):
+        scores, labels = _miscalibrated_data(rng, n=1000)
+        calibrator = IsotonicCalibrator().fit(scores, labels)
+        grid = np.linspace(scores.min(), scores.max(), 200)
+        out = calibrator.transform(grid)
+        assert np.all(np.diff(out) >= -1e-12)
+
+    def test_fitted_values_are_rates(self, rng):
+        scores, labels = _miscalibrated_data(rng, n=1000)
+        calibrator = IsotonicCalibrator().fit(scores, labels)
+        assert calibrator.values_.min() >= 0.0
+        assert calibrator.values_.max() <= 1.0
+        assert np.all(np.diff(calibrator.values_) > 0)  # strictly increasing blocks
+
+    def test_perfectly_separable_two_blocks(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0.0, 0.0, 1.0, 1.0])
+        calibrator = IsotonicCalibrator().fit(scores, labels)
+        assert calibrator.values_.size == 2
+        np.testing.assert_allclose(calibrator.values_, [0.0, 1.0])
+
+    def test_anti_monotone_scores_collapse_to_one_block(self):
+        scores = np.array([0.1, 0.2, 0.3, 0.4])
+        labels = np.array([1.0, 1.0, 0.0, 0.0])  # scores inversely related
+        calibrator = IsotonicCalibrator().fit(scores, labels)
+        assert calibrator.values_.size == 1
+        assert calibrator.values_[0] == pytest.approx(0.5)
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            IsotonicCalibrator().transform([0.5])
+
+
+class TestGroupedAUC:
+    def test_perfect_within_group_ranking(self):
+        labels = [0, 1, 0, 1]
+        scores = [0.1, 0.9, 0.2, 0.8]
+        groups = [0, 0, 1, 1]
+        gauc, n_groups = grouped_auc(labels, scores, groups)
+        assert gauc == 1.0 and n_groups == 2
+
+    def test_detects_within_group_failure(self):
+        """Globally separable via a group bias, but wrong within groups."""
+        labels = np.array([1, 0, 1, 0], dtype=float)
+        scores = np.array([0.8, 0.9, 0.1, 0.2])  # group 0 high, group 1 low
+        groups = np.array([0, 0, 1, 1])
+        global_auc = roc_auc(labels, scores)
+        gauc, _ = grouped_auc(labels, scores, groups)
+        assert gauc == 0.0
+        assert global_auc > gauc
+
+    def test_impression_weighting(self):
+        # Group 0 (2 rows, AUC 1) and group 1 (4 rows, AUC 0): weighted 1/3.
+        labels = [0, 1, 0, 1, 0, 1]
+        scores = [0.1, 0.9, 0.9, 0.1, 0.8, 0.2]
+        groups = [0, 0, 1, 1, 1, 1]
+        gauc, n_groups = grouped_auc(labels, scores, groups)
+        assert n_groups == 2
+        assert gauc == pytest.approx(2 / 6 * 1.0 + 4 / 6 * 0.0)
+
+    def test_single_class_groups_skipped(self):
+        labels = [1, 1, 0, 1]
+        scores = [0.5, 0.6, 0.1, 0.9]
+        groups = [0, 0, 1, 1]
+        gauc, n_groups = grouped_auc(labels, scores, groups)
+        assert n_groups == 1  # group 0 is all-positive
+
+    def test_no_valid_groups_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_auc([1, 1], [0.5, 0.6], [0, 0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_auc([1, 0], [0.5], [0, 0])
+
+    def test_min_impressions_validation(self):
+        with pytest.raises(ValueError):
+            grouped_auc([0, 1], [0.1, 0.9], [0, 0], min_impressions=1)
+
+    def test_on_trained_model(self, tiny_tmall_world):
+        """GAUC of ground-truth click probabilities beats 0.5 clearly."""
+        world = tiny_tmall_world
+        probabilities = world.click_probability(
+            world.interaction_user_indices,
+            world.interaction_item_indices,
+            world.item_latents,
+            world.item_quality,
+        )
+        gauc, n_groups = grouped_auc(
+            world.interactions.label("ctr"),
+            probabilities,
+            world.interaction_user_indices,
+            min_impressions=5,
+        )
+        assert n_groups > 20
+        assert gauc > 0.6

@@ -1,0 +1,128 @@
+"""Top-k ranking metric tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    hit_rate_at_k,
+    mrr_at_k,
+    ndcg_at_k,
+    ranking_report,
+    recall_at_k,
+)
+
+
+RELEVANCE = np.array([0, 1, 0, 1, 0], dtype=float)
+SCORES = np.array([0.9, 0.8, 0.7, 0.2, 0.1])  # one relevant in top-2
+
+
+class TestKnownValues:
+    def test_hit_rate(self):
+        assert hit_rate_at_k(RELEVANCE, SCORES, 1) == 0.0
+        assert hit_rate_at_k(RELEVANCE, SCORES, 2) == 1.0
+
+    def test_recall(self):
+        assert recall_at_k(RELEVANCE, SCORES, 2) == 0.5
+        assert recall_at_k(RELEVANCE, SCORES, 5) == 1.0
+
+    def test_ndcg_perfect_ranking(self):
+        relevance = np.array([1, 1, 0, 0], dtype=float)
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert ndcg_at_k(relevance, scores, 4) == pytest.approx(1.0)
+
+    def test_ndcg_hand_computed(self):
+        # Relevant at ranks 2 and 4 of 4; ideal has them at ranks 1 and 2.
+        relevance = np.array([0, 1, 0, 1], dtype=float)
+        scores = np.array([0.9, 0.8, 0.7, 0.6])
+        dcg = 1 / np.log2(3) + 1 / np.log2(5)
+        ideal = 1 / np.log2(2) + 1 / np.log2(3)
+        assert ndcg_at_k(relevance, scores, 4) == pytest.approx(dcg / ideal)
+
+    def test_mrr(self):
+        assert mrr_at_k(RELEVANCE, SCORES, 5) == pytest.approx(0.5)
+
+    def test_mrr_no_hit_is_zero(self):
+        assert mrr_at_k(RELEVANCE, SCORES, 1) == 0.0
+
+
+class TestValidation:
+    def test_no_relevant_items_rejected(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.zeros(4), np.arange(4.0), 2)
+        with pytest.raises(ValueError):
+            ndcg_at_k(np.zeros(4), np.arange(4.0), 2)
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            hit_rate_at_k(np.array([0.0, 2.0]), np.array([0.1, 0.2]), 1)
+
+    def test_k_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            hit_rate_at_k(RELEVANCE, SCORES, 6)
+        with pytest.raises(ValueError):
+            hit_rate_at_k(RELEVANCE, SCORES, 0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.array([1.0, 0.0]), np.array([0.5]), 1)
+
+
+class TestRankingReport:
+    def test_averages_over_users(self):
+        users = [
+            (np.array([1, 0], dtype=float), np.array([0.9, 0.1])),  # perfect
+            (np.array([0, 1], dtype=float), np.array([0.9, 0.1])),  # worst
+        ]
+        report = ranking_report(users, k=1)
+        assert report["hit_rate"] == 0.5
+        assert report["n_users"] == 2
+
+    def test_skips_users_without_positives(self):
+        users = [
+            (np.array([1, 0], dtype=float), np.array([0.9, 0.1])),
+            (np.array([0, 0], dtype=float), np.array([0.9, 0.1])),
+        ]
+        report = ranking_report(users, k=1)
+        assert report["n_users"] == 1
+
+    def test_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ranking_report([(np.zeros(3), np.arange(3.0))], k=1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**32 - 1), st.integers(2, 20))
+def test_metrics_bounded_and_consistent(seed, n):
+    rng = np.random.default_rng(seed)
+    relevance = np.zeros(n)
+    relevance[rng.integers(0, n)] = 1.0
+    scores = rng.normal(size=n)
+    k = int(rng.integers(1, n + 1))
+    hit = hit_rate_at_k(relevance, scores, k)
+    recall = recall_at_k(relevance, scores, k)
+    ndcg = ndcg_at_k(relevance, scores, k)
+    mrr = mrr_at_k(relevance, scores, k)
+    for value in (hit, recall, ndcg, mrr):
+        assert 0.0 <= value <= 1.0
+    # With one relevant item: hit == recall, and ndcg/mrr positive iff hit.
+    assert hit == recall
+    assert (ndcg > 0) == (hit == 1.0)
+    assert (mrr > 0) == (hit == 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_perfect_scores_maximise_all_metrics(seed):
+    rng = np.random.default_rng(seed)
+    n = 12
+    relevance = (rng.random(n) < 0.4).astype(float)
+    if relevance.sum() in (0, n):
+        relevance[0] = 1.0
+        relevance[1] = 0.0
+    scores = relevance + 0.01 * rng.random(n)  # relevant strictly on top
+    k = int(relevance.sum())
+    assert recall_at_k(relevance, scores, k) == pytest.approx(1.0)
+    assert ndcg_at_k(relevance, scores, k) == pytest.approx(1.0)
+    assert mrr_at_k(relevance, scores, k) == pytest.approx(1.0)

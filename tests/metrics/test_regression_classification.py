@@ -1,0 +1,86 @@
+"""Regression and classification metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    accuracy,
+    calibration_error,
+    log_loss,
+    mae,
+    mse,
+    precision_at_k,
+    r2_score,
+    rmse,
+)
+
+
+class TestRegression:
+    def test_mae(self):
+        assert mae([1.0, 2.0], [2.0, 4.0]) == pytest.approx(1.5)
+
+    def test_mse(self):
+        assert mse([1.0, 2.0], [2.0, 4.0]) == pytest.approx(2.5)
+
+    def test_rmse(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_r2_perfect(self):
+        assert r2_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 1.0
+
+    def test_r2_mean_predictor_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, y.mean())) == pytest.approx(0.0)
+
+    def test_r2_constant_truth(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mae([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mse([], [])
+
+
+class TestClassification:
+    def test_log_loss_perfect(self):
+        assert log_loss([1.0, 0.0], [1.0, 0.0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_log_loss_uniform(self):
+        assert log_loss([1.0, 0.0], [0.5, 0.5]) == pytest.approx(np.log(2))
+
+    def test_log_loss_clipping(self):
+        assert np.isfinite(log_loss([1.0], [0.0]))
+
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1, 0], [0.9, 0.1, 0.4, 0.6]) == 0.5
+
+    def test_accuracy_threshold(self):
+        assert accuracy([1], [0.4], threshold=0.3) == 1.0
+
+    def test_precision_at_k(self):
+        labels = [1, 0, 1, 0, 0]
+        scores = [0.9, 0.8, 0.7, 0.2, 0.1]
+        assert precision_at_k(labels, scores, 2) == 0.5
+        assert precision_at_k(labels, scores, 3) == pytest.approx(2 / 3)
+
+    def test_precision_at_k_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k([1, 0], [0.5, 0.4], 3)
+
+    def test_calibration_perfectly_calibrated(self, rng):
+        probabilities = rng.uniform(size=20000)
+        labels = (rng.random(20000) < probabilities).astype(float)
+        assert calibration_error(labels, probabilities) < 0.02
+
+    def test_calibration_detects_bias(self):
+        labels = np.zeros(100)
+        probabilities = np.full(100, 0.9)
+        assert calibration_error(labels, probabilities) == pytest.approx(0.9)
+
+    def test_calibration_invalid_bins(self):
+        with pytest.raises(ValueError):
+            calibration_error([1.0], [0.5], n_bins=0)

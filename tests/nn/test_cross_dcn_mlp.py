@@ -1,0 +1,133 @@
+"""Cross network, DCN and MLP block tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, check_gradients
+from repro.nn.layers import DCN, MLP, CrossLayer, CrossNetwork
+
+
+class TestCrossLayer:
+    def test_formula(self, rng):
+        layer = CrossLayer(3, rng=rng)
+        x0 = rng.normal(size=(2, 3))
+        x = rng.normal(size=(2, 3))
+        out = layer(Tensor(x0), Tensor(x))
+        projection = x @ layer.weight.data
+        expected = x0 * projection + layer.bias.data + x
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_wrong_width_rejected(self, rng):
+        layer = CrossLayer(3, rng=rng)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((2, 4))), Tensor(np.zeros((2, 4))))
+
+    def test_invalid_dim_rejected(self, rng):
+        with pytest.raises(ValueError):
+            CrossLayer(0, rng=rng)
+
+    def test_gradients(self, rng):
+        layer = CrossLayer(3, rng=rng)
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        check_gradients(
+            lambda: (layer(x, x) ** 2).sum(), [x] + layer.parameters(),
+            rtol=1e-3, atol=1e-5,
+        )
+
+
+class TestCrossNetwork:
+    def test_zero_layers_is_identity(self, rng):
+        net = CrossNetwork(4, 0, rng=rng)
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(net(Tensor(x)).data, x)
+
+    def test_negative_layers_rejected(self, rng):
+        with pytest.raises(ValueError):
+            CrossNetwork(4, -1, rng=rng)
+
+    def test_depth_counts_layers(self, rng):
+        assert len(CrossNetwork(4, 3, rng=rng).layers) == 3
+
+    def test_output_shape_preserved(self, rng):
+        net = CrossNetwork(5, 2, rng=rng)
+        assert net(Tensor(rng.normal(size=(7, 5)))).shape == (7, 5)
+
+    def test_can_represent_degree2_interaction(self, rng):
+        """A 1-layer cross net fits y = x0*x1 far better than a linear map."""
+        from repro.nn.losses import mean_squared_error
+        from repro.nn.optim import Adam
+
+        n = 512
+        X = rng.normal(size=(n, 3))
+        y = X[:, 0] * X[:, 1]
+        net = CrossNetwork(3, 1, rng=rng)
+        readout = np.zeros(3)
+        readout[0] = 1.0  # read the first coordinate
+
+        from repro.nn.layers import Linear
+
+        head = Linear(3, 1, rng=rng)
+        params = net.parameters() + head.parameters()
+        optimizer = Adam(params, lr=0.05)
+        for _ in range(300):
+            optimizer.zero_grad()
+            out = head(net(Tensor(X))).reshape(-1)
+            loss = mean_squared_error(out, y)
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < 0.1 * y.var()
+
+
+class TestMLP:
+    def test_output_shape(self, rng):
+        mlp = MLP(4, [8, 3], rng=rng)
+        assert mlp(Tensor(rng.normal(size=(5, 4)))).shape == (5, 3)
+
+    def test_empty_dims_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MLP(4, [], rng=rng)
+
+    def test_identity_output_activation_allows_negatives(self, rng):
+        mlp = MLP(4, [8, 2], output_activation="identity", rng=rng)
+        out = mlp(Tensor(rng.normal(size=(50, 4)))).data
+        assert (out < 0).any()
+
+    def test_relu_output_activation_nonnegative(self, rng):
+        mlp = MLP(4, [8, 2], activation="relu", rng=rng)
+        out = mlp(Tensor(rng.normal(size=(50, 4)))).data
+        assert (out >= 0).all()
+
+    def test_gradients(self, rng):
+        mlp = MLP(3, [5, 2], output_activation="identity", rng=rng)
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        check_gradients(
+            lambda: (mlp(x) ** 2).sum(), [x] + mlp.parameters(),
+            rtol=1e-3, atol=1e-5,
+        )
+
+    def test_dropout_only_in_training(self, rng):
+        mlp = MLP(4, [8, 2], dropout=0.5, rng=rng)
+        mlp.eval()
+        x = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(mlp(x).data, mlp(x).data)
+
+
+class TestDCN:
+    def test_output_width_is_cross_plus_deep(self, rng):
+        dcn = DCN(6, [8, 4], num_cross_layers=2, rng=rng)
+        assert dcn.out_features == 6 + 4
+        assert dcn(Tensor(rng.normal(size=(3, 6)))).shape == (3, 10)
+
+    def test_zero_cross_layers_still_concatenates(self, rng):
+        dcn = DCN(6, [4], num_cross_layers=0, rng=rng)
+        x = rng.normal(size=(2, 6))
+        out = dcn(Tensor(x))
+        np.testing.assert_allclose(out.data[:, :6], x)
+
+    def test_gradients(self, rng):
+        dcn = DCN(4, [6, 3], num_cross_layers=1, rng=rng)
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(
+            lambda: (dcn(x) ** 2).sum(), [x] + dcn.parameters(),
+            rtol=1e-3, atol=1e-5,
+        )

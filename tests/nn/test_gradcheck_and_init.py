@@ -1,0 +1,84 @@
+"""Tests for the gradient checker itself and weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, check_gradients, init, numerical_gradient
+
+
+class TestNumericalGradient:
+    def test_quadratic(self):
+        x = Tensor(np.array([2.0, -1.0]), requires_grad=True)
+        numeric = numerical_gradient(lambda: (x * x).sum(), x)
+        np.testing.assert_allclose(numeric, [4.0, -2.0], atol=1e-5)
+
+    def test_detects_wrong_gradient(self):
+        """A deliberately broken op must be caught by check_gradients."""
+
+        def broken_forward():
+            x = value
+            out = Tensor._make(
+                x.data * 2.0, (x,), lambda grad: (grad * 3.0,)  # wrong: 3 != 2
+            )
+            return out.sum()
+
+        value = Tensor(np.array([1.0]), requires_grad=True)
+        with pytest.raises(AssertionError):
+            check_gradients(broken_forward, [value])
+
+    def test_rejects_non_scalar(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        with pytest.raises(ValueError):
+            check_gradients(lambda: x * 2.0, [x])
+
+    def test_rejects_non_grad_tensor(self):
+        x = Tensor(np.array([1.0]))
+        y = Tensor(np.array([1.0]), requires_grad=True)
+        with pytest.raises(ValueError):
+            check_gradients(lambda: (x * y).sum(), [x])
+
+
+class TestInitializers:
+    def test_xavier_uniform_bounds(self, rng):
+        weights = init.xavier_uniform(rng, (100, 100))
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(weights).max() <= bound
+
+    def test_xavier_normal_std(self, rng):
+        weights = init.xavier_normal(rng, (200, 200))
+        expected = np.sqrt(2.0 / 400)
+        assert weights.std() == pytest.approx(expected, rel=0.1)
+
+    def test_he_normal_std(self, rng):
+        weights = init.he_normal(rng, (400, 10))
+        assert weights.std() == pytest.approx(np.sqrt(2.0 / 400), rel=0.1)
+
+    def test_he_uniform_bounds(self, rng):
+        weights = init.he_uniform(rng, (50, 50))
+        assert np.abs(weights).max() <= np.sqrt(6.0 / 50)
+
+    def test_zeros_ones(self):
+        np.testing.assert_allclose(init.zeros((3,)), [0.0, 0.0, 0.0])
+        np.testing.assert_allclose(init.ones((2,)), [1.0, 1.0])
+
+    def test_uniform_range(self, rng):
+        weights = init.uniform(rng, (1000,), low=-0.1, high=0.1)
+        assert weights.min() >= -0.1 and weights.max() < 0.1
+
+    def test_normal_params(self, rng):
+        weights = init.normal(rng, (5000,), mean=1.0, std=0.5)
+        assert weights.mean() == pytest.approx(1.0, abs=0.05)
+        assert weights.std() == pytest.approx(0.5, rel=0.1)
+
+    def test_1d_fan(self, rng):
+        weights = init.xavier_uniform(rng, (10,))
+        assert weights.shape == (10,)
+
+    def test_empty_shape_rejected(self, rng):
+        with pytest.raises(ValueError):
+            init.xavier_uniform(rng, ())
+
+    def test_deterministic_under_seed(self):
+        a = init.xavier_uniform(np.random.default_rng(7), (4, 4))
+        b = init.xavier_uniform(np.random.default_rng(7), (4, 4))
+        np.testing.assert_allclose(a, b)

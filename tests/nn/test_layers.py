@@ -1,0 +1,209 @@
+"""Layer tests: Linear, Embedding, activations, dropout, normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, check_gradients
+from repro.nn.layers import (
+    BatchNorm1d,
+    Dropout,
+    Embedding,
+    EmbeddingBag,
+    FeatureEmbeddings,
+    LayerNorm,
+    Linear,
+    get_activation,
+)
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        out = layer(Tensor(rng.normal(size=(5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_affine_values(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_wrong_input_width_rejected(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((2, 5))))
+
+    def test_invalid_sizes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Linear(0, 2, rng=rng)
+
+    def test_gradients(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        check_gradients(lambda: (layer(x) ** 2).sum(), [x] + layer.parameters())
+
+    def test_repr(self, rng):
+        assert "Linear(in_features=3" in repr(Linear(3, 2, rng=rng))
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        out = emb(np.array([1, 2, 3]))
+        assert out.shape == (3, 4)
+
+    def test_invalid_sizes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Embedding(0, 4, rng=rng)
+
+    def test_gradients_accumulate_for_repeats(self, rng):
+        emb = Embedding(5, 2, rng=rng)
+        out = emb(np.array([2, 2]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[2], [2.0, 2.0])
+
+    def test_repr(self, rng):
+        assert repr(Embedding(10, 4, rng=rng)) == "Embedding(10, 4)"
+
+
+class TestEmbeddingBag:
+    def test_mean_pooling(self, rng):
+        bag = EmbeddingBag(6, 3, rng=rng)
+        indices = np.array([[1, 2, 0]])
+        mask = np.array([[1.0, 1.0, 0.0]])
+        out = bag(indices, mask)
+        table = bag.embedding.weight.data
+        np.testing.assert_allclose(out.data[0], (table[1] + table[2]) / 2.0)
+
+    def test_all_masked_safe(self, rng):
+        bag = EmbeddingBag(6, 3, rng=rng)
+        out = bag(np.array([[0, 0]]), np.array([[0.0, 0.0]]))
+        np.testing.assert_allclose(out.data, np.zeros((1, 3)))
+
+    def test_shape_mismatch_rejected(self, rng):
+        bag = EmbeddingBag(6, 3, rng=rng)
+        with pytest.raises(ValueError):
+            bag(np.zeros((1, 2), dtype=int), np.zeros((1, 3)))
+
+
+class TestFeatureEmbeddings:
+    def test_concat_order_and_width(self, rng):
+        bank = FeatureEmbeddings({"a": 5, "b": 7}, {"a": 2, "b": 3}, rng=rng)
+        assert bank.output_dim == 5
+        out = bank({"a": np.array([0, 1]), "b": np.array([2, 3])})
+        assert out.shape == (2, 5)
+        np.testing.assert_allclose(out.data[:, :2], bank.table("a").weight.data[[0, 1]])
+
+    def test_missing_feature_rejected(self, rng):
+        bank = FeatureEmbeddings({"a": 5}, {"a": 2}, rng=rng)
+        with pytest.raises(KeyError):
+            bank({"b": np.array([0])})
+
+    def test_extra_features_ignored(self, rng):
+        bank = FeatureEmbeddings({"a": 5}, {"a": 2}, rng=rng)
+        out = bank({"a": np.array([0]), "zzz": np.array([9])})
+        assert out.shape == (1, 2)
+
+    def test_mismatched_specs_rejected(self, rng):
+        with pytest.raises(ValueError):
+            FeatureEmbeddings({"a": 5}, {"b": 2}, rng=rng)
+
+    def test_single_feature_no_concat(self, rng):
+        bank = FeatureEmbeddings({"a": 5}, {"a": 2}, rng=rng)
+        assert bank({"a": np.array([1, 2])}).shape == (2, 2)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("name", ["relu", "leaky_relu", "sigmoid", "tanh", "identity", "linear"])
+    def test_lookup(self, name):
+        act = get_activation(name)
+        out = act(Tensor(np.array([-1.0, 1.0])))
+        assert out.shape == (2,)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_activation("swishish")
+
+    def test_identity_passthrough(self):
+        x = Tensor(np.array([1.0, -2.0]))
+        np.testing.assert_allclose(get_activation("identity")(x).data, x.data)
+
+
+class TestDropout:
+    def test_invalid_probability_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng=rng)
+
+    def test_eval_mode_is_identity(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        layer.eval()
+        x = Tensor(rng.normal(size=(4, 4)))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+    def test_p_zero_is_identity(self, rng):
+        layer = Dropout(0.0, rng=rng)
+        x = Tensor(rng.normal(size=(4, 4)))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+    def test_training_zeroes_and_scales(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((200, 10)))
+        out = layer(x).data
+        # Surviving entries are scaled by 1/keep = 2.
+        assert set(np.round(np.unique(out), 6)) <= {0.0, 2.0}
+        assert abs(out.mean() - 1.0) < 0.1
+
+    def test_mask_is_stochastic(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((10, 10)))
+        assert not np.allclose(layer(x).data, layer(x).data)
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self, rng):
+        layer = LayerNorm(6)
+        out = layer(Tensor(rng.normal(2.0, 3.0, size=(5, 6)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_wrong_width_rejected(self, rng):
+        with pytest.raises(ValueError):
+            LayerNorm(6)(Tensor(rng.normal(size=(2, 4))))
+
+    def test_gradients(self, rng):
+        layer = LayerNorm(4)
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(
+            lambda: (layer(x) ** 2).sum(), [x] + layer.parameters(),
+            rtol=1e-3, atol=1e-5,
+        )
+
+
+class TestBatchNorm:
+    def test_training_normalises_batch(self, rng):
+        layer = BatchNorm1d(3)
+        out = layer(Tensor(rng.normal(5.0, 2.0, size=(64, 3)))).data
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-7)
+
+    def test_running_stats_updated(self, rng):
+        layer = BatchNorm1d(3, momentum=0.5)
+        layer(Tensor(rng.normal(5.0, 2.0, size=(64, 3))))
+        assert not np.allclose(layer.running_mean, 0.0)
+
+    def test_eval_uses_running_stats(self, rng):
+        layer = BatchNorm1d(3, momentum=1.0)
+        x = rng.normal(5.0, 2.0, size=(64, 3))
+        layer(Tensor(x))
+        layer.eval()
+        out = layer(Tensor(x)).data
+        expected = (x - x.mean(axis=0)) / np.sqrt(x.var(axis=0) + layer.eps)
+        np.testing.assert_allclose(out, expected, atol=1e-6)
+
+    def test_wrong_shape_rejected(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm1d(3)(Tensor(rng.normal(size=(4, 5))))

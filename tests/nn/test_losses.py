@@ -1,0 +1,130 @@
+"""Loss function tests, including the paper's similarity loss L_s."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, check_gradients
+from repro.nn.losses import (
+    binary_cross_entropy,
+    binary_cross_entropy_with_logits,
+    cosine_similarity,
+    mean_absolute_error,
+    mean_squared_error,
+    similarity_loss,
+)
+
+
+class TestBinaryCrossEntropy:
+    def test_matches_formula(self, rng):
+        p = rng.uniform(0.05, 0.95, size=8)
+        y = (rng.random(8) < 0.5).astype(float)
+        expected = -np.mean(y * np.log(p) + (1 - y) * np.log(1 - p))
+        assert binary_cross_entropy(Tensor(p), y).item() == pytest.approx(expected)
+
+    def test_perfect_prediction_near_zero(self):
+        loss = binary_cross_entropy(Tensor([1.0, 0.0]), np.array([1.0, 0.0]))
+        assert loss.item() < 1e-6
+
+    def test_extreme_probabilities_finite(self):
+        loss = binary_cross_entropy(Tensor([0.0, 1.0]), np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+
+    def test_gradients(self, rng):
+        logits = Tensor(rng.normal(size=6), requires_grad=True)
+        y = (rng.random(6) < 0.5).astype(float)
+        check_gradients(
+            lambda: binary_cross_entropy(logits.sigmoid(), y), [logits]
+        )
+
+    def test_with_logits_matches_probability_version(self, rng):
+        z = rng.normal(size=10)
+        y = (rng.random(10) < 0.5).astype(float)
+        via_logits = binary_cross_entropy_with_logits(Tensor(z), y).item()
+        via_probs = binary_cross_entropy(Tensor(z).sigmoid(), y).item()
+        assert via_logits == pytest.approx(via_probs, rel=1e-8)
+
+    def test_with_logits_stable_for_huge_logits(self):
+        loss = binary_cross_entropy_with_logits(
+            Tensor([1000.0, -1000.0]), np.array([1.0, 0.0])
+        )
+        assert loss.item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_with_logits_gradients(self, rng):
+        z = Tensor(rng.normal(size=6), requires_grad=True)
+        y = (rng.random(6) < 0.5).astype(float)
+        check_gradients(lambda: binary_cross_entropy_with_logits(z, y), [z])
+
+
+class TestRegressionLosses:
+    def test_mse_matches_numpy(self, rng):
+        p, y = rng.normal(size=8), rng.normal(size=8)
+        assert mean_squared_error(Tensor(p), y).item() == pytest.approx(
+            np.mean((p - y) ** 2)
+        )
+
+    def test_mae_matches_numpy(self, rng):
+        p, y = rng.normal(size=8), rng.normal(size=8)
+        assert mean_absolute_error(Tensor(p), y).item() == pytest.approx(
+            np.mean(np.abs(p - y))
+        )
+
+    def test_mse_gradients(self, rng):
+        p = Tensor(rng.normal(size=6), requires_grad=True)
+        y = rng.normal(size=6)
+        check_gradients(lambda: mean_squared_error(p, y), [p])
+
+    def test_mse_zero_at_target(self, rng):
+        y = rng.normal(size=4)
+        assert mean_squared_error(Tensor(y.copy()), y).item() == 0.0
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(cosine_similarity(a, a).data, 1.0, atol=1e-6)
+
+    def test_opposite_vectors(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)))
+        b = Tensor(-a.data)
+        np.testing.assert_allclose(cosine_similarity(a, b).data, -1.0, atol=1e-6)
+
+    def test_orthogonal_vectors(self):
+        a = Tensor(np.array([[1.0, 0.0]]))
+        b = Tensor(np.array([[0.0, 1.0]]))
+        np.testing.assert_allclose(cosine_similarity(a, b).data, 0.0, atol=1e-6)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            cosine_similarity(Tensor(np.zeros((2, 3))), Tensor(np.zeros((2, 4))))
+
+
+class TestSimilarityLoss:
+    def test_zero_when_identical(self, rng):
+        a = Tensor(rng.normal(size=(4, 8)))
+        assert similarity_loss(a, a).item() == pytest.approx(0.0, abs=1e-10)
+
+    def test_maximal_when_opposite(self, rng):
+        a = Tensor(rng.normal(size=(4, 8)))
+        b = Tensor(-a.data)
+        assert similarity_loss(a, b).item() == pytest.approx(4.0, rel=1e-5)
+
+    def test_no_gradient_into_encoder_target(self, rng):
+        generated = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        encoded = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        similarity_loss(generated, encoded).backward()
+        assert generated.grad is not None
+        assert encoded.grad is None
+
+    def test_gradient_pulls_generator_toward_encoder(self, rng):
+        generated = Tensor(rng.normal(size=(1, 4)), requires_grad=True)
+        encoded = Tensor(rng.normal(size=(1, 4)))
+        before = similarity_loss(generated, encoded).item()
+        similarity_loss(generated, encoded).backward()
+        generated.data -= 0.1 * generated.grad
+        after = similarity_loss(generated, encoded).item()
+        assert after < before
+
+    def test_gradients_match_finite_differences(self, rng):
+        generated = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        encoded = Tensor(rng.normal(size=(3, 4)))
+        check_gradients(lambda: similarity_loss(generated, encoded), [generated])

@@ -1,0 +1,180 @@
+"""Optimizer and scheduler tests: convergence, state handling, dedup."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter, Tensor
+from repro.nn.optim import (
+    SGD,
+    AdaGrad,
+    Adam,
+    CosineDecay,
+    ExponentialDecay,
+    FTRL,
+    Optimizer,
+    StepDecay,
+    WarmupWrapper,
+)
+
+
+def _quadratic_loss(param: Parameter, target: np.ndarray) -> Tensor:
+    """0.5 * ||w - target||^2 with gradient (w - target)."""
+    diff = Tensor(param.data) - Tensor(target)
+    loss = (diff * diff).sum() * 0.5
+    param.grad = param.data - target
+    return loss
+
+
+def _minimize(optimizer_cls, steps=300, **kwargs):
+    target = np.array([1.0, -2.0, 3.0])
+    param = Parameter(np.zeros(3))
+    optimizer = optimizer_cls([param], **kwargs)
+    for _ in range(steps):
+        param.grad = param.data - target
+        optimizer.step()
+        optimizer.zero_grad()
+    return param.data, target
+
+
+class TestConvergence:
+    def test_sgd(self):
+        value, target = _minimize(SGD, lr=0.1)
+        np.testing.assert_allclose(value, target, atol=1e-4)
+
+    def test_sgd_momentum(self):
+        value, target = _minimize(SGD, lr=0.05, momentum=0.9)
+        np.testing.assert_allclose(value, target, atol=1e-4)
+
+    def test_sgd_nesterov(self):
+        value, target = _minimize(SGD, lr=0.05, momentum=0.9, nesterov=True)
+        np.testing.assert_allclose(value, target, atol=1e-4)
+
+    def test_adam(self):
+        value, target = _minimize(Adam, lr=0.1, steps=500)
+        np.testing.assert_allclose(value, target, atol=1e-3)
+
+    def test_adagrad(self):
+        value, target = _minimize(AdaGrad, lr=1.0, steps=800)
+        np.testing.assert_allclose(value, target, atol=1e-2)
+
+    def test_ftrl(self):
+        value, target = _minimize(FTRL, lr=1.0, steps=800)
+        np.testing.assert_allclose(value, target, atol=1e-2)
+
+
+class TestOptimizerMechanics:
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(2))], lr=0.0)
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_non_parameter_rejected(self):
+        with pytest.raises(TypeError):
+            SGD([Tensor(np.zeros(2), requires_grad=True)], lr=0.1)
+
+    def test_duplicate_parameters_deduplicated(self):
+        param = Parameter(np.zeros(2))
+        optimizer = SGD([param, param], lr=0.1)
+        assert len(optimizer.parameters) == 1
+
+    def test_shared_parameter_single_update(self):
+        """A shared embedding must receive exactly one update per step."""
+        param = Parameter(np.array([1.0]))
+        optimizer = SGD([param, param], lr=0.1)
+        param.grad = np.array([1.0])
+        optimizer.step()
+        np.testing.assert_allclose(param.data, [0.9])
+
+    def test_none_grad_skipped(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=0.1)
+        optimizer.step()
+        np.testing.assert_allclose(param.data, [1.0])
+
+    def test_zero_grad(self):
+        param = Parameter(np.array([1.0]))
+        param.grad = np.array([2.0])
+        optimizer = SGD([param], lr=0.1)
+        optimizer.zero_grad()
+        assert param.grad is None
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.array([10.0]))
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.array([0.0])
+        optimizer.step()
+        assert param.data[0] < 10.0
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+    def test_adam_invalid_betas_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.1, betas=(1.0, 0.999))
+
+    def test_ftrl_l1_induces_sparsity(self):
+        param = Parameter(np.array([0.5]))
+        optimizer = FTRL([param], lr=0.5, l1=10.0)
+        for _ in range(20):
+            param.grad = np.array([0.01])
+            optimizer.step()
+        np.testing.assert_allclose(param.data, [0.0])
+
+    def test_gradient_clipping_scales(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.full(4, 10.0)
+        norm = Optimizer.clip_gradients([param], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_gradient_clipping_noop_below_threshold(self):
+        param = Parameter(np.zeros(2))
+        param.grad = np.array([0.1, 0.1])
+        Optimizer.clip_gradients([param], max_norm=10.0)
+        np.testing.assert_allclose(param.grad, [0.1, 0.1])
+
+
+class TestSchedulers:
+    def _optimizer(self, lr=1.0):
+        return SGD([Parameter(np.zeros(1))], lr=lr)
+
+    def test_step_decay(self):
+        optimizer = self._optimizer()
+        scheduler = StepDecay(optimizer, step_size=2, gamma=0.1)
+        rates = [scheduler.step() for _ in range(4)]
+        assert rates == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_exponential_decay(self):
+        optimizer = self._optimizer()
+        scheduler = ExponentialDecay(optimizer, gamma=0.5)
+        assert scheduler.step() == pytest.approx(0.5)
+        assert scheduler.step() == pytest.approx(0.25)
+
+    def test_cosine_decay_endpoints(self):
+        optimizer = self._optimizer()
+        scheduler = CosineDecay(optimizer, total_epochs=10, min_lr=0.0)
+        for _ in range(10):
+            final = scheduler.step()
+        assert final == pytest.approx(0.0, abs=1e-12)
+
+    def test_cosine_decay_monotone(self):
+        optimizer = self._optimizer()
+        scheduler = CosineDecay(optimizer, total_epochs=10)
+        rates = [scheduler.step() for _ in range(10)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_warmup_ramps_linearly(self):
+        optimizer = self._optimizer()
+        scheduler = WarmupWrapper(
+            ExponentialDecay(optimizer, gamma=1.0), warmup_epochs=4
+        )
+        rates = [scheduler.step() for _ in range(4)]
+        assert rates == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+    def test_invalid_step_size_rejected(self):
+        with pytest.raises(ValueError):
+            StepDecay(self._optimizer(), step_size=0)

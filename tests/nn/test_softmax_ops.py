@@ -1,0 +1,124 @@
+"""Tests for the max reduction, log-softmax and in-batch softmax loss."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, check_gradients
+from repro.nn.losses import in_batch_softmax_loss, log_softmax
+
+
+class TestMaxReduction:
+    def test_values(self, rng):
+        a = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(Tensor(a).max().item(), a.max())
+        np.testing.assert_allclose(Tensor(a).max(axis=1).data, a.max(axis=1))
+
+    def test_keepdims(self, rng):
+        a = rng.normal(size=(3, 4))
+        out = Tensor(a).max(axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+
+    def test_gradient_flows_to_argmax(self):
+        a = Tensor(np.array([[1.0, 5.0, 2.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.0, 1.0, 0.0]])
+
+    def test_gradient_split_across_ties(self):
+        a = Tensor(np.array([[3.0, 3.0, 1.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+    def test_gradcheck(self, rng):
+        # Distinct values avoid non-differentiable tie points.
+        a = Tensor(rng.permutation(12).astype(float).reshape(3, 4), requires_grad=True)
+        check_gradients(lambda: (a.max(axis=1) ** 2).sum(), [a])
+
+    def test_global_max_gradcheck(self, rng):
+        a = Tensor(rng.permutation(9).astype(float).reshape(3, 3), requires_grad=True)
+        check_gradients(lambda: a.max() * 2.0, [a])
+
+
+class TestLogSoftmax:
+    def test_matches_direct_computation(self, rng):
+        logits = rng.normal(size=(4, 6))
+        out = log_softmax(Tensor(logits)).data
+        expected = logits - np.log(np.exp(logits).sum(axis=-1, keepdims=True))
+        np.testing.assert_allclose(out, expected, rtol=1e-10)
+
+    def test_rows_normalise(self, rng):
+        out = log_softmax(Tensor(rng.normal(size=(5, 7)))).data
+        np.testing.assert_allclose(np.exp(out).sum(axis=-1), 1.0, rtol=1e-10)
+
+    def test_stable_for_large_logits(self):
+        out = log_softmax(Tensor(np.array([[1000.0, 999.0]]))).data
+        assert np.isfinite(out).all()
+
+    def test_shift_invariance(self, rng):
+        logits = rng.normal(size=(3, 4))
+        a = log_softmax(Tensor(logits)).data
+        b = log_softmax(Tensor(logits + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_gradcheck(self, rng):
+        logits = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(
+            lambda: (log_softmax(logits) ** 2).mean(), [logits],
+            rtol=1e-3, atol=1e-6,
+        )
+
+
+class TestInBatchSoftmaxLoss:
+    def test_perfect_alignment_low_loss(self, rng):
+        vectors = np.eye(4) * 10.0
+        loss = in_batch_softmax_loss(
+            Tensor(vectors), Tensor(vectors), temperature=1.0
+        )
+        assert loss.item() < 0.01
+
+    def test_adversarial_alignment_high_loss(self):
+        users = np.eye(3) * 10.0
+        items = np.roll(users, 1, axis=0)  # each user matches the wrong item
+        loss = in_batch_softmax_loss(Tensor(users), Tensor(items))
+        assert loss.item() > 1.0
+
+    def test_loss_at_least_uniform_entropy_bound(self, rng):
+        users = Tensor(rng.normal(size=(8, 4)))
+        items = Tensor(rng.normal(size=(8, 4)))
+        loss = in_batch_softmax_loss(users, items)
+        assert loss.item() > 0.0
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            in_batch_softmax_loss(
+                Tensor(np.zeros((3, 4))), Tensor(np.zeros((4, 4)))
+            )
+
+    def test_invalid_temperature_rejected(self, rng):
+        with pytest.raises(ValueError):
+            in_batch_softmax_loss(
+                Tensor(np.zeros((3, 4))), Tensor(np.zeros((3, 4))),
+                temperature=0.0,
+            )
+
+    def test_gradcheck(self, rng):
+        users = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        items = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        check_gradients(
+            lambda: in_batch_softmax_loss(users, items),
+            [users, items],
+            rtol=1e-3,
+            atol=1e-6,
+        )
+
+    def test_descent_improves_alignment(self, rng):
+        users = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        items = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        first = in_batch_softmax_loss(users, items).item()
+        for _ in range(50):
+            users.zero_grad()
+            items.zero_grad()
+            loss = in_batch_softmax_loss(users, items)
+            loss.backward()
+            users.data -= 0.5 * users.grad
+            items.data -= 0.5 * items.grad
+        assert loss.item() < first

@@ -1,0 +1,145 @@
+"""Autograd graph mechanics: accumulation, reuse, detach, no_grad."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, is_grad_enabled, no_grad
+
+
+class TestBackwardBasics:
+    def test_scalar_backward_default_grad(self):
+        a = Tensor([[2.0]], requires_grad=True)
+        (a * 3.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [[3.0]])
+
+    def test_non_scalar_backward_requires_grad_arg(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (a * 2.0).backward()
+
+    def test_explicit_gradient(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 2.0).backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(a.grad, [2.0, 20.0])
+
+    def test_gradient_shape_mismatch_rejected(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (a * 2.0).backward(np.array([1.0]))
+
+    def test_no_grad_without_requires_grad(self):
+        a = Tensor([1.0, 2.0])
+        out = (a * 2.0).sum()
+        out.backward()
+        assert a.grad is None
+
+
+class TestGraphStructure:
+    def test_diamond_graph_accumulates(self):
+        # y = a*a + a*a uses `a` through two paths.
+        a = Tensor([3.0], requires_grad=True)
+        b = a * a
+        c = a * a
+        (b + c).sum().backward()
+        np.testing.assert_allclose(a.grad, [12.0])
+
+    def test_tensor_reused_in_same_op(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * a).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_grad_accumulates_across_backward_calls(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).sum().backward()
+        (a * 3.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+    def test_zero_grad_clears(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_deep_chain(self):
+        a = Tensor([1.0], requires_grad=True)
+        out = a
+        for _ in range(200):
+            out = out * 1.01
+        out.sum().backward()
+        assert a.grad[0] == pytest.approx(1.01 ** 200, rel=1e-9)
+
+    def test_intermediate_grad_populated(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = a * 3.0
+        b.sum().backward()
+        np.testing.assert_allclose(b.grad, [1.0])
+
+
+class TestDetachAndNoGrad:
+    def test_detach_blocks_gradient(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a.detach() * 5.0).sum().backward()
+        assert a.grad is None
+
+    def test_detach_shares_data(self):
+        a = Tensor([2.0], requires_grad=True)
+        assert a.detach().data is a.data
+
+    def test_no_grad_context_disables_recording(self):
+        a = Tensor([2.0], requires_grad=True)
+        with no_grad():
+            out = a * 3.0
+        assert not out.requires_grad
+        assert out._backward_fn is None
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_nested(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        try:
+            with no_grad():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert is_grad_enabled()
+
+
+class TestTensorBasics:
+    def test_repr_includes_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+    def test_repr_includes_name(self):
+        assert "weights" in repr(Tensor([1.0], name="weights"))
+
+    def test_len(self):
+        assert len(Tensor([[1.0], [2.0], [3.0]])) == 3
+
+    def test_item_scalar(self):
+        assert Tensor([[5.0]]).item() == 5.0
+
+    def test_item_non_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_numpy_returns_underlying(self):
+        a = Tensor([1.0])
+        assert a.numpy() is a.data
+
+    def test_dtype_coercion(self):
+        assert Tensor(np.array([1, 2], dtype=np.int32)).dtype == np.float64
+
+    def test_shape_ndim_size(self):
+        a = Tensor(np.zeros((2, 3)))
+        assert a.shape == (2, 3)
+        assert a.ndim == 2
+        assert a.size == 6

@@ -1,0 +1,322 @@
+"""Value and gradient tests for every tensor operation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, check_gradients, concat, embedding_lookup, stack
+
+
+def _t(rng, *shape):
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestArithmeticValues:
+    def test_add(self, rng):
+        a, b = rng.normal(size=(3, 2)), rng.normal(size=(3, 2))
+        out = Tensor(a) + Tensor(b)
+        np.testing.assert_allclose(out.data, a + b)
+
+    def test_add_scalar(self):
+        out = Tensor([1.0, 2.0]) + 3.0
+        np.testing.assert_allclose(out.data, [4.0, 5.0])
+
+    def test_radd(self):
+        out = 3.0 + Tensor([1.0, 2.0])
+        np.testing.assert_allclose(out.data, [4.0, 5.0])
+
+    def test_sub(self):
+        out = Tensor([5.0, 7.0]) - Tensor([2.0, 3.0])
+        np.testing.assert_allclose(out.data, [3.0, 4.0])
+
+    def test_rsub(self):
+        out = 10.0 - Tensor([1.0, 2.0])
+        np.testing.assert_allclose(out.data, [9.0, 8.0])
+
+    def test_mul(self):
+        out = Tensor([2.0, 3.0]) * Tensor([4.0, 5.0])
+        np.testing.assert_allclose(out.data, [8.0, 15.0])
+
+    def test_div(self):
+        out = Tensor([8.0, 9.0]) / Tensor([2.0, 3.0])
+        np.testing.assert_allclose(out.data, [4.0, 3.0])
+
+    def test_rdiv(self):
+        out = 6.0 / Tensor([2.0, 3.0])
+        np.testing.assert_allclose(out.data, [3.0, 2.0])
+
+    def test_neg(self):
+        out = -Tensor([1.0, -2.0])
+        np.testing.assert_allclose(out.data, [-1.0, 2.0])
+
+    def test_pow(self):
+        out = Tensor([2.0, 3.0]) ** 2
+        np.testing.assert_allclose(out.data, [4.0, 9.0])
+
+    def test_pow_tensor_exponent_rejected(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([3.0])
+
+    def test_matmul(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 2))
+        out = Tensor(a) @ Tensor(b)
+        np.testing.assert_allclose(out.data, a @ b)
+
+    def test_matmul_requires_2d(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]) @ Tensor([[1.0], [2.0]])
+
+    def test_transpose(self, rng):
+        a = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(Tensor(a).T.data, a.T)
+
+    def test_transpose_requires_2d(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).transpose()
+
+    def test_reshape(self, rng):
+        a = rng.normal(size=(2, 6))
+        out = Tensor(a).reshape(3, 4)
+        assert out.shape == (3, 4)
+
+    def test_reshape_tuple_arg(self, rng):
+        out = Tensor(rng.normal(size=(2, 6))).reshape((4, 3))
+        assert out.shape == (4, 3)
+
+    def test_getitem(self, rng):
+        a = rng.normal(size=(5, 3))
+        out = Tensor(a)[1:3]
+        np.testing.assert_allclose(out.data, a[1:3])
+
+
+class TestReductionValues:
+    def test_sum_all(self, rng):
+        a = rng.normal(size=(3, 4))
+        assert Tensor(a).sum().item() == pytest.approx(a.sum())
+
+    def test_sum_axis(self, rng):
+        a = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(Tensor(a).sum(axis=0).data, a.sum(axis=0))
+
+    def test_sum_keepdims(self, rng):
+        a = rng.normal(size=(3, 4))
+        out = Tensor(a).sum(axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+
+    def test_mean_all(self, rng):
+        a = rng.normal(size=(3, 4))
+        assert Tensor(a).mean().item() == pytest.approx(a.mean())
+
+    def test_mean_axis(self, rng):
+        a = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(Tensor(a).mean(axis=-1).data, a.mean(axis=-1))
+
+
+class TestNonlinearityValues:
+    def test_exp(self):
+        np.testing.assert_allclose(Tensor([0.0, 1.0]).exp().data, [1.0, np.e])
+
+    def test_log(self):
+        np.testing.assert_allclose(Tensor([1.0, np.e]).log().data, [0.0, 1.0])
+
+    def test_sqrt(self):
+        np.testing.assert_allclose(Tensor([4.0, 9.0]).sqrt().data, [2.0, 3.0])
+
+    def test_tanh(self, rng):
+        a = rng.normal(size=5)
+        np.testing.assert_allclose(Tensor(a).tanh().data, np.tanh(a))
+
+    def test_sigmoid_matches_definition(self, rng):
+        a = rng.normal(size=5)
+        np.testing.assert_allclose(
+            Tensor(a).sigmoid().data, 1.0 / (1.0 + np.exp(-a))
+        )
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = Tensor([-1000.0, 1000.0]).sigmoid()
+        assert np.all(np.isfinite(out.data))
+        np.testing.assert_allclose(out.data, [0.0, 1.0], atol=1e-12)
+
+    def test_relu(self):
+        np.testing.assert_allclose(
+            Tensor([-1.0, 0.0, 2.0]).relu().data, [0.0, 0.0, 2.0]
+        )
+
+    def test_leaky_relu(self):
+        np.testing.assert_allclose(
+            Tensor([-2.0, 3.0]).leaky_relu(0.1).data, [-0.2, 3.0]
+        )
+
+    def test_clip(self):
+        np.testing.assert_allclose(
+            Tensor([-5.0, 0.5, 5.0]).clip(0.0, 1.0).data, [0.0, 0.5, 1.0]
+        )
+
+    def test_abs(self):
+        np.testing.assert_allclose(Tensor([-3.0, 2.0]).abs().data, [3.0, 2.0])
+
+
+class TestGradients:
+    """Every differentiable op is validated against finite differences."""
+
+    def test_add_broadcast(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 4)
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_sub_broadcast(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 1, 4)
+        check_gradients(lambda: (a - b).sum(), [a, b])
+
+    def test_mul_broadcast(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 4)
+        check_gradients(lambda: (a * b).sum(), [a, b])
+
+    def test_div(self, rng):
+        a = _t(rng, 3)
+        b = Tensor(rng.uniform(1.0, 2.0, size=3), requires_grad=True)
+        check_gradients(lambda: (a / b).sum(), [a, b])
+
+    def test_pow(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, size=4), requires_grad=True)
+        check_gradients(lambda: (a ** 3).sum(), [a])
+
+    def test_matmul(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 4, 2)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_transpose(self, rng):
+        a = _t(rng, 3, 4)
+        check_gradients(lambda: (a.T @ a).sum(), [a])
+
+    def test_reshape(self, rng):
+        a = _t(rng, 2, 6)
+        check_gradients(lambda: (a.reshape(3, 4) ** 2).sum(), [a])
+
+    def test_getitem(self, rng):
+        a = _t(rng, 5, 3)
+        check_gradients(lambda: (a[1:4] ** 2).sum(), [a])
+
+    def test_sum_axis(self, rng):
+        a = _t(rng, 3, 4)
+        check_gradients(lambda: (a.sum(axis=1) ** 2).sum(), [a])
+
+    def test_sum_negative_axis_keepdims(self, rng):
+        a = _t(rng, 3, 4)
+        check_gradients(lambda: (a.sum(axis=-1, keepdims=True) ** 2).sum(), [a])
+
+    def test_mean(self, rng):
+        a = _t(rng, 4, 3)
+        check_gradients(lambda: (a.mean(axis=0) ** 2).sum(), [a])
+
+    def test_exp(self, rng):
+        a = _t(rng, 4)
+        check_gradients(lambda: a.exp().sum(), [a])
+
+    def test_log(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, size=4), requires_grad=True)
+        check_gradients(lambda: a.log().sum(), [a])
+
+    def test_sqrt(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, size=4), requires_grad=True)
+        check_gradients(lambda: a.sqrt().sum(), [a])
+
+    def test_tanh(self, rng):
+        a = _t(rng, 4)
+        check_gradients(lambda: a.tanh().sum(), [a])
+
+    def test_sigmoid(self, rng):
+        a = _t(rng, 4)
+        check_gradients(lambda: a.sigmoid().sum(), [a])
+
+    def test_relu(self, rng):
+        a = Tensor(rng.normal(size=6) + 0.1, requires_grad=True)
+        check_gradients(lambda: a.relu().sum(), [a])
+
+    def test_leaky_relu(self, rng):
+        a = Tensor(rng.normal(size=6) + 0.1, requires_grad=True)
+        check_gradients(lambda: a.leaky_relu(0.2).sum(), [a])
+
+    def test_abs(self, rng):
+        a = Tensor(rng.normal(size=6) + 2.0, requires_grad=True)
+        check_gradients(lambda: a.abs().sum(), [a])
+
+    def test_concat(self, rng):
+        a, b = _t(rng, 3, 2), _t(rng, 3, 5)
+        check_gradients(lambda: (concat([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_stack(self, rng):
+        a, b = _t(rng, 3), _t(rng, 3)
+        check_gradients(lambda: (stack([a, b], axis=0) ** 2).sum(), [a, b])
+
+    def test_embedding_lookup(self, rng):
+        weight = _t(rng, 6, 3)
+        idx = np.array([0, 2, 2, 5])
+        check_gradients(lambda: (embedding_lookup(weight, idx) ** 2).sum(), [weight])
+
+    def test_composite_expression(self, rng):
+        a, b = _t(rng, 2, 3), _t(rng, 3, 2)
+        check_gradients(
+            lambda: (((a @ b).sigmoid() * 2.0 - 0.5).tanh() / 1.5).mean(), [a, b]
+        )
+
+
+class TestConcatStack:
+    def test_concat_values(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(2, 2))
+        out = concat([Tensor(a), Tensor(b)], axis=1)
+        np.testing.assert_allclose(out.data, np.concatenate([a, b], axis=1))
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concat([])
+
+    def test_concat_single(self, rng):
+        a = rng.normal(size=(2, 3))
+        np.testing.assert_allclose(concat([Tensor(a)]).data, a)
+
+    def test_stack_values(self, rng):
+        a, b = rng.normal(size=3), rng.normal(size=3)
+        out = stack([Tensor(a), Tensor(b)], axis=0)
+        np.testing.assert_allclose(out.data, np.stack([a, b]))
+
+    def test_stack_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stack([])
+
+
+class TestEmbeddingLookup:
+    def test_values(self, rng):
+        weight = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        out = embedding_lookup(weight, np.array([1, 4]))
+        np.testing.assert_allclose(out.data, weight.data[[1, 4]])
+
+    def test_repeated_indices_accumulate(self, rng):
+        weight = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        out = embedding_lookup(weight, np.array([1, 1, 1]))
+        out.sum().backward()
+        np.testing.assert_allclose(weight.grad[1], [3.0, 3.0])
+        np.testing.assert_allclose(weight.grad[0], [0.0, 0.0])
+
+    def test_out_of_range_rejected(self, rng):
+        weight = Tensor(rng.normal(size=(4, 2)))
+        with pytest.raises(IndexError):
+            embedding_lookup(weight, np.array([4]))
+
+    def test_negative_index_rejected(self, rng):
+        weight = Tensor(rng.normal(size=(4, 2)))
+        with pytest.raises(IndexError):
+            embedding_lookup(weight, np.array([-1]))
+
+    def test_float_indices_rejected(self, rng):
+        weight = Tensor(rng.normal(size=(4, 2)))
+        with pytest.raises(TypeError):
+            embedding_lookup(weight, np.array([1.0]))
+
+    def test_non_2d_weight_rejected(self, rng):
+        weight = Tensor(rng.normal(size=4))
+        with pytest.raises(ValueError):
+            embedding_lookup(weight, np.array([1]))
+
+    def test_2d_index_shape(self, rng):
+        weight = Tensor(rng.normal(size=(5, 3)))
+        out = embedding_lookup(weight, np.array([[0, 1], [2, 3]]))
+        assert out.shape == (2, 2, 3)

@@ -1,0 +1,86 @@
+"""Property-based tests of the autograd engine (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import Tensor, check_gradients
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def small_arrays(max_side=4):
+    shapes = st.tuples(
+        st.integers(1, max_side), st.integers(1, max_side)
+    )
+    return shapes.flatmap(
+        lambda shape: arrays(np.float64, shape, elements=finite_floats)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_add_commutes(a):
+    left = (Tensor(a) + Tensor(a * 2)).data
+    right = (Tensor(a * 2) + Tensor(a)).data
+    np.testing.assert_allclose(left, right)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_sum_matches_numpy(a):
+    np.testing.assert_allclose(Tensor(a).sum().item(), a.sum(), rtol=1e-10, atol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_sigmoid_bounded(a):
+    out = Tensor(a).sigmoid().data
+    assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_tanh_odd_function(a):
+    np.testing.assert_allclose(
+        Tensor(-a).tanh().data, -Tensor(a).tanh().data, atol=1e-12
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_relu_idempotent(a):
+    once = Tensor(a).relu()
+    twice = once.relu()
+    np.testing.assert_allclose(once.data, twice.data)
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_arrays(max_side=3))
+def test_mul_gradient_matches_finite_differences(a):
+    x = Tensor(a, requires_grad=True)
+    y = Tensor(a * 0.5 + 1.0, requires_grad=True)
+    check_gradients(lambda: (x * y).sum(), [x, y], rtol=1e-3, atol=1e-5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_arrays(max_side=3))
+def test_linear_gradient_is_input_independent_constant(a):
+    # d/dx sum(3x + 1) == 3 everywhere.
+    x = Tensor(a, requires_grad=True)
+    (x * 3.0 + 1.0).sum().backward()
+    np.testing.assert_allclose(x.grad, np.full_like(a, 3.0))
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_arrays(max_side=3), small_arrays(max_side=3))
+def test_broadcast_scalar_add_gradient_shape(a, b):
+    x = Tensor(a, requires_grad=True)
+    bias = Tensor(np.array([1.5]), requires_grad=True)
+    (x + bias).sum().backward()
+    assert x.grad.shape == a.shape
+    assert bias.grad.shape == (1,)
+    np.testing.assert_allclose(bias.grad, [a.size])
