@@ -64,6 +64,36 @@ def test_bench_train_step(benchmark, micro_world, micro_model):
     benchmark(step)
 
 
+def test_bench_train_step_profiled(benchmark, micro_world, micro_model, save_report):
+    """The L_i train step under the per-op autograd profiler.
+
+    Besides timing the profiled step, this writes a per-op time breakdown
+    artifact (``benchmarks/results/autograd_op_breakdown.txt``) so a
+    regression can be localised to one operator instead of the step as a
+    whole.
+    """
+    from repro.obs import AutogradProfiler
+
+    features = _batch(micro_world)
+    labels = micro_world.interactions.label("ctr")[:512]
+    optimizer = Adam(micro_model.parameters(), lr=1e-3)
+    micro_model.train()
+
+    def step():
+        optimizer.zero_grad()
+        loss = binary_cross_entropy(micro_model(features), labels)
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    profiler = AutogradProfiler()
+    with profiler:
+        benchmark.pedantic(step, rounds=5, iterations=1)
+    report = profiler.report()
+    assert "matmul" in report and report["matmul"].backward_calls > 0
+    save_report("autograd_op_breakdown", profiler.to_text())
+
+
 def test_bench_o1_scoring_kernel(benchmark, micro_world, micro_model):
     """The pure serving kernel: score 10k pre-encoded item vectors."""
     from repro.core import PopularityPredictor

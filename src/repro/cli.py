@@ -6,7 +6,8 @@ Examples
 
     atnn-repro list
     atnn-repro table1 --preset smoke
-    atnn-repro all --preset default --output results/
+    atnn-repro table1 --preset smoke --telemetry out.jsonl
+    atnn-repro all --preset default --output results/ --log-level info
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.experiments import available_experiments, run_all, run_experiment
+from repro.obs import TelemetrySession, configure_logging
 from repro.utils.serialization import save_json
 
 __all__ = ["main", "build_parser"]
@@ -51,6 +53,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for JSON result dumps (optional)",
     )
+    parser.add_argument(
+        "--telemetry",
+        type=Path,
+        default=None,
+        help=(
+            "write a JSONL telemetry report of the run (metrics, per-epoch "
+            "losses, per-op autograd timings, spans) to this path"
+        ),
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="enable structured logging to stderr at this level",
+    )
     return parser
 
 
@@ -58,28 +75,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
 
+    if args.log_level is not None:
+        configure_logging(args.log_level)
+
     if args.experiment == "list":
         for name in available_experiments():
             print(name)
         return 0
 
-    if args.experiment == "all":
-        results = run_all(args.preset, verbose=True)
-        if args.output is not None:
-            for name, result in results.items():
-                if hasattr(result, "as_dict"):
-                    save_json(result.as_dict(), args.output / f"{name}.json")
-        return 0
-
+    session: Optional[TelemetrySession] = None
+    if args.telemetry is not None:
+        session = TelemetrySession(label=f"{args.experiment}:{args.preset}")
+        session.start()
     try:
-        result = run_experiment(args.experiment, preset=args.preset)
-    except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    print(result.render())
-    if args.output is not None and hasattr(result, "as_dict"):
-        save_json(result.as_dict(), args.output / f"{args.experiment}.json")
-    return 0
+        if args.experiment == "all":
+            results = run_all(args.preset, verbose=True)
+            if args.output is not None:
+                for name, result in results.items():
+                    if hasattr(result, "as_dict"):
+                        save_json(result.as_dict(), args.output / f"{name}.json")
+            return 0
+
+        try:
+            result = run_experiment(args.experiment, preset=args.preset)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(result.render())
+        if args.output is not None and hasattr(result, "as_dict"):
+            save_json(result.as_dict(), args.output / f"{args.experiment}.json")
+        return 0
+    finally:
+        if session is not None:
+            session.stop()
+            session.write_jsonl(args.telemetry)
+            print(f"[telemetry report written to {args.telemetry}]")
 
 
 if __name__ == "__main__":

@@ -17,7 +17,7 @@ updates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +33,8 @@ from repro.nn.losses import (
 )
 from repro.nn.optim import Adam, Optimizer
 from repro.nn.tensor import Tensor, no_grad
+from repro.obs.callbacks import BatchStats, TrainerCallback, global_callbacks
+from repro.obs.tracing import maybe_span
 
 __all__ = [
     "EarlyStopping",
@@ -103,6 +105,46 @@ class TrainingHistory:
             raise KeyError(f"no recorded values for {key!r}")
         return values[-1]
 
+    def keys(self) -> List[str]:
+        """All diagnostic keys, in order of first appearance."""
+        seen: List[str] = []
+        for record in self.records:
+            for key in record:
+                if key not in seen:
+                    seen.append(key)
+        return seen
+
+    def to_dict(self) -> Dict[str, List[Dict[str, float]]]:
+        """JSON-friendly payload; round-trips through :meth:`from_dict`."""
+        return {"records": [dict(record) for record in self.records]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "TrainingHistory":
+        """Rebuild a history saved by :meth:`to_dict`."""
+        records = payload.get("records")
+        if not isinstance(records, list):
+            raise ValueError("payload must contain a 'records' list")
+        rebuilt = []
+        for position, record in enumerate(records):
+            if not isinstance(record, dict):
+                raise ValueError(f"record #{position} is not a mapping")
+            rebuilt.append({str(k): float(v) for k, v in record.items()})
+        return cls(records=rebuilt)
+
+    def summary(self) -> str:
+        """One-line description: epoch count and first→last per diagnostic."""
+        if not self.records:
+            return "TrainingHistory: empty"
+        parts = []
+        for key in self.keys():
+            values = self.series(key)
+            if len(values) == 1:
+                parts.append(f"{key} {values[0]:.4f}")
+            else:
+                parts.append(f"{key} {values[0]:.4f}→{values[-1]:.4f}")
+        plural = "s" if self.n_epochs != 1 else ""
+        return f"TrainingHistory: {self.n_epochs} epoch{plural}; " + ", ".join(parts)
+
 
 class _BaseTrainer:
     """Shared epoch/batch plumbing."""
@@ -117,6 +159,7 @@ class _BaseTrainer:
         verbose: bool = False,
         on_epoch_end: Optional[Callable[[int, Dict[str, float]], None]] = None,
         early_stopping: Optional[EarlyStopping] = None,
+        callbacks: Optional[Sequence[TrainerCallback]] = None,
     ) -> None:
         if epochs <= 0:
             raise ValueError(f"epochs must be positive, got {epochs}")
@@ -130,8 +173,71 @@ class _BaseTrainer:
         self.verbose = verbose
         self.on_epoch_end = on_epoch_end
         self.early_stopping = early_stopping
+        self.callbacks: List[TrainerCallback] = list(callbacks or [])
         self._best_value: Optional[float] = None
         self._best_state: Optional[Dict[str, np.ndarray]] = None
+        self._active_callbacks: Tuple[TrainerCallback, ...] = ()
+        self._parameter_groups: List[Tuple[str, List]] = []
+
+    # ------------------------------------------------------------------
+    # Telemetry plumbing
+    # ------------------------------------------------------------------
+    def _begin_fit(self, model) -> None:
+        """Resolve callbacks (own + globally registered) for this run."""
+        self._active_callbacks = tuple(self.callbacks) + global_callbacks()
+        self._parameter_groups = []
+        if self._active_callbacks:
+            # Group parameters by the model's top-level submodule; a shared
+            # parameter (the paper's embedding trick) counts once, under the
+            # group that registered it first.
+            groups: Dict[str, List] = {}
+            seen_ids: set = set()
+            for name, param in model.named_parameters():
+                if id(param) in seen_ids:
+                    continue
+                seen_ids.add(id(param))
+                group = name.split(".", 1)[0]
+                groups.setdefault(group, []).append(param)
+            self._parameter_groups = sorted(groups.items())
+        for callback in self._active_callbacks:
+            callback.on_train_begin(self, model)
+
+    def _end_fit(self, history: "TrainingHistory") -> None:
+        for callback in self._active_callbacks:
+            callback.on_train_end(history)
+        self._active_callbacks = ()
+        self._parameter_groups = []
+
+    @staticmethod
+    def _grad_norm(parameters) -> float:
+        total = 0.0
+        for param in parameters:
+            if param.grad is not None:
+                total += float((param.grad ** 2).sum())
+        return float(np.sqrt(total))
+
+    def _on_batch(
+        self,
+        optimizer: Optimizer,
+        path: str,
+        losses: Dict[str, float],
+    ) -> None:
+        """Emit one :class:`BatchStats` (gradients still hold this step's values)."""
+        if not self._active_callbacks:
+            return
+        stats = BatchStats(
+            step=optimizer.step_count,
+            path=path,
+            losses=losses,
+            grad_norm=self._grad_norm(optimizer.parameters),
+            grad_norms={
+                group: self._grad_norm(params)
+                for group, params in self._parameter_groups
+            },
+            lr=optimizer.lr,
+        )
+        for callback in self._active_callbacks:
+            callback.on_batch_end(stats)
 
     def _step(self, optimizer: Optimizer, loss: Tensor) -> float:
         value = loss.item()
@@ -160,6 +266,8 @@ class _BaseTrainer:
             print(f"epoch {epoch + 1}/{self.epochs}: {rendered}")
         if self.on_epoch_end is not None:
             self.on_epoch_end(epoch, record)
+        for callback in self._active_callbacks:
+            callback.on_epoch_end(epoch, record)
 
     def _check_early_stop(self, record: Dict[str, float], model) -> bool:
         """Update the best snapshot; return True when patience is spent."""
@@ -220,13 +328,17 @@ class TwoTowerTrainer(_BaseTrainer):
         optimizer = Adam(model.parameters(), lr=self.lr)
         rng = np.random.default_rng(self.seed)
         history = TrainingHistory()
+        self._begin_fit(model)
         model.train()
         for epoch in range(self.epochs):
             losses: List[float] = []
-            for batch in train.iter_batches(self.batch_size, rng=rng):
-                probabilities = model(batch.features)
-                loss = binary_cross_entropy(probabilities, batch.label(label))
-                losses.append(self._step(optimizer, loss))
+            with maybe_span("train.epoch"):
+                for batch in train.iter_batches(self.batch_size, rng=rng):
+                    probabilities = model(batch.features)
+                    loss = binary_cross_entropy(probabilities, batch.label(label))
+                    value = self._step(optimizer, loss)
+                    losses.append(value)
+                    self._on_batch(optimizer, "encoder", {"loss": value})
             record = {"loss": float(np.mean(losses))}
             if valid is not None:
                 record["valid_auc"] = roc_auc(
@@ -238,6 +350,7 @@ class TwoTowerTrainer(_BaseTrainer):
                 break
         self._maybe_restore_best(model)
         model.eval()
+        self._end_fit(history)
         return history
 
 
@@ -275,31 +388,42 @@ class ATNNTrainer(_BaseTrainer):
         optimizer = Adam(model.parameters(), lr=self.lr)
         rng = np.random.default_rng(self.seed)
         history = TrainingHistory()
+        self._begin_fit(model)
         model.train()
         for epoch in range(self.epochs):
             losses_i: List[float] = []
             losses_g: List[float] = []
             losses_s: List[float] = []
-            for batch in train.iter_batches(self.batch_size, rng=rng):
-                targets = batch.label(label)
+            with maybe_span("train.epoch"):
+                for batch in train.iter_batches(self.batch_size, rng=rng):
+                    targets = batch.label(label)
 
-                # Step 1 — optimise the encoder path on L_i.
-                probabilities = model(batch.features)
-                loss_i = binary_cross_entropy(probabilities, targets)
-                losses_i.append(self._step(optimizer, loss_i))
+                    # Step 1 — optimise the encoder path on L_i.
+                    probabilities = model(batch.features)
+                    loss_i = binary_cross_entropy(probabilities, targets)
+                    value_i = self._step(optimizer, loss_i)
+                    losses_i.append(value_i)
+                    self._on_batch(optimizer, "encoder", {"loss_i": value_i})
 
-                # Step 2 — optimise the generator path on L_g + lambda*L_s.
-                with no_grad():
-                    encoder_targets = model.encoded_item_vectors(batch.features)
-                generated = model.generated_item_vectors(batch.features)
-                user_vectors = model.user_vectors(batch.features)
-                generator_probabilities = model.scoring_head(generated, user_vectors)
-                loss_g = binary_cross_entropy(generator_probabilities, targets)
-                loss_s = similarity_loss(generated, Tensor(encoder_targets.data))
-                combined = loss_g + self.lambda_similarity * loss_s
-                self._step(optimizer, combined)
-                losses_g.append(loss_g.item())
-                losses_s.append(loss_s.item())
+                    # Step 2 — optimise the generator path on L_g + lambda*L_s.
+                    with no_grad():
+                        encoder_targets = model.encoded_item_vectors(batch.features)
+                    generated = model.generated_item_vectors(batch.features)
+                    user_vectors = model.user_vectors(batch.features)
+                    generator_probabilities = model.scoring_head(
+                        generated, user_vectors
+                    )
+                    loss_g = binary_cross_entropy(generator_probabilities, targets)
+                    loss_s = similarity_loss(generated, Tensor(encoder_targets.data))
+                    combined = loss_g + self.lambda_similarity * loss_s
+                    self._step(optimizer, combined)
+                    losses_g.append(loss_g.item())
+                    losses_s.append(loss_s.item())
+                    self._on_batch(
+                        optimizer,
+                        "generator",
+                        {"loss_g": losses_g[-1], "loss_s": losses_s[-1]},
+                    )
 
             record = {
                 "loss_i": float(np.mean(losses_i)),
@@ -320,6 +444,7 @@ class ATNNTrainer(_BaseTrainer):
                 break
         self._maybe_restore_best(model)
         model.eval()
+        self._end_fit(history)
         return history
 
 
@@ -385,39 +510,50 @@ class MultiTaskTrainer(_BaseTrainer):
         # structure rather than climbing the output offset.
         model.gmv_head.set_output_bias(float(train.label("gmv").mean()))
         model.vppv_head.set_output_bias(float(train.label("vppv").mean()))
+        self._begin_fit(model)
         model.train()
         for epoch in range(self.epochs):
             losses_r: List[float] = []
             losses_g: List[float] = []
             losses_s: List[float] = []
-            for batch in train.iter_batches(self.batch_size, rng=rng):
-                gmv_targets = batch.label("gmv")
-                vppv_targets = batch.label("vppv")
+            with maybe_span("train.epoch"):
+                for batch in train.iter_batches(self.batch_size, rng=rng):
+                    gmv_targets = batch.label("gmv")
+                    vppv_targets = batch.label("vppv")
 
-                # Step 1 — encoder path: L_r^GMV + lambda_1 * L_r^VpPV.
-                loss_r = self._task_loss(
-                    model, batch.features, gmv_targets, vppv_targets, False
-                )
-                losses_r.append(self._step(optimizer, loss_r))
+                    # Step 1 — encoder path: L_r^GMV + lambda_1 * L_r^VpPV.
+                    loss_r = self._task_loss(
+                        model, batch.features, gmv_targets, vppv_targets, False
+                    )
+                    value_r = self._step(optimizer, loss_r)
+                    losses_r.append(value_r)
+                    self._on_batch(optimizer, "encoder", {"loss_r": value_r})
 
-                if not self.adversarial:
-                    continue
+                    if not self.adversarial:
+                        continue
 
-                # Step 2 — generator path plus similarity distillation.
-                with no_grad():
-                    encoder_targets = model.encoded_item_vectors(batch.features)
-                generated = model.generated_item_vectors(batch.features)
-                group_vectors = model.group_vectors(batch.features)
-                gmv_prediction = model.gmv_head(generated, group_vectors)
-                vppv_prediction = model.vppv_head(generated, group_vectors)
-                loss_g = mean_squared_error(
-                    gmv_prediction, gmv_targets
-                ) + self.lambda_vppv * mean_squared_error(vppv_prediction, vppv_targets)
-                loss_s = similarity_loss(generated, Tensor(encoder_targets.data))
-                combined = loss_g + self.lambda_similarity * loss_s
-                self._step(optimizer, combined)
-                losses_g.append(loss_g.item())
-                losses_s.append(loss_s.item())
+                    # Step 2 — generator path plus similarity distillation.
+                    with no_grad():
+                        encoder_targets = model.encoded_item_vectors(batch.features)
+                    generated = model.generated_item_vectors(batch.features)
+                    group_vectors = model.group_vectors(batch.features)
+                    gmv_prediction = model.gmv_head(generated, group_vectors)
+                    vppv_prediction = model.vppv_head(generated, group_vectors)
+                    loss_g = mean_squared_error(
+                        gmv_prediction, gmv_targets
+                    ) + self.lambda_vppv * mean_squared_error(
+                        vppv_prediction, vppv_targets
+                    )
+                    loss_s = similarity_loss(generated, Tensor(encoder_targets.data))
+                    combined = loss_g + self.lambda_similarity * loss_s
+                    self._step(optimizer, combined)
+                    losses_g.append(loss_g.item())
+                    losses_s.append(loss_s.item())
+                    self._on_batch(
+                        optimizer,
+                        "generator",
+                        {"loss_g": losses_g[-1], "loss_s": losses_s[-1]},
+                    )
 
             record: Dict[str, float] = {"loss_r": float(np.mean(losses_r))}
             if losses_g:
@@ -435,4 +571,5 @@ class MultiTaskTrainer(_BaseTrainer):
                 break
         self._maybe_restore_best(model)
         model.eval()
+        self._end_fit(history)
         return history

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional
+
+from repro.obs.logging import get_logger, kv
 
 from repro.experiments.ablations import (
     run_cross_depth_ablation,
@@ -24,6 +27,8 @@ from repro.experiments.table4 import run_table4
 from repro.experiments.table5 import run_table5
 
 __all__ = ["EXPERIMENTS", "run_experiment", "run_all", "available_experiments"]
+
+_LOGGER = get_logger("experiments")
 
 EXPERIMENTS: Dict[str, Callable] = {
     "table1": run_table1,
@@ -63,7 +68,18 @@ def run_experiment(name: str, preset: str = "default"):
         raise ValueError(
             f"unknown experiment {name!r}; choose from {available_experiments()}"
         ) from None
-    return runner(preset=preset)
+    _LOGGER.info(kv("experiment started", experiment=name, preset=preset))
+    start = time.perf_counter()
+    result = runner(preset=preset)
+    _LOGGER.info(
+        kv(
+            "experiment finished",
+            experiment=name,
+            preset=preset,
+            elapsed_s=time.perf_counter() - start,
+        )
+    )
+    return result
 
 
 def run_all(
@@ -87,6 +103,14 @@ def run_all(
     Returns a mapping from experiment name to its result object.
     """
     results: Dict[str, object] = {}
+    started = time.perf_counter()
+    _LOGGER.info(
+        kv(
+            "run_all started",
+            preset=preset,
+            include_supplementary=include_supplementary,
+        )
+    )
 
     tmall = build_tmall_artifacts(preset, keep_individual_users=True)
     results["table1"] = run_table1(preset, world=tmall.world)
@@ -119,4 +143,12 @@ def run_all(
         for name in order:
             print(results[name].render())
             print()
+    _LOGGER.info(
+        kv(
+            "run_all finished",
+            preset=preset,
+            experiments=len(results),
+            elapsed_s=time.perf_counter() - started,
+        )
+    )
     return results

@@ -520,34 +520,72 @@ class Tensor:
 
         return Tensor._make(np.abs(a.data), (a,), backward)
 
+    # ------------------------------------------------------------------
+    # Multi-tensor ops
+    # ------------------------------------------------------------------
+    # These live on the class (the module-level functions below delegate)
+    # so that all call sites dispatch through one patchable point — the
+    # autograd profiler in ``repro.obs`` instruments ops by wrapping the
+    # class attributes, which also reaches modules that imported the
+    # functions by value.
+    @staticmethod
+    def _concat(tensors: Sequence["Tensor"], axis: int = -1) -> "Tensor":
+        tensors = list(tensors)
+        if not tensors:
+            raise ValueError("concat expects at least one tensor")
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+        splits = np.cumsum(sizes)[:-1]
+
+        def backward(grad: np.ndarray):
+            return tuple(np.split(grad, splits, axis=axis))
+
+        return Tensor._make(data, tensors, backward)
+
+    @staticmethod
+    def _stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = list(tensors)
+        if not tensors:
+            raise ValueError("stack expects at least one tensor")
+        data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad: np.ndarray):
+            parts = np.split(grad, len(tensors), axis=axis)
+            return tuple(np.squeeze(p, axis=axis) for p in parts)
+
+        return Tensor._make(data, tensors, backward)
+
+    @staticmethod
+    def _embedding_lookup(weight: "Tensor", indices: np.ndarray) -> "Tensor":
+        indices = np.asarray(indices)
+        if indices.dtype.kind not in "iu":
+            raise TypeError(f"embedding indices must be integers, got {indices.dtype}")
+        if weight.ndim != 2:
+            raise ValueError(f"embedding weight must be 2-D, got {weight.shape}")
+        vocab = weight.shape[0]
+        if indices.size and (indices.min() < 0 or indices.max() >= vocab):
+            raise IndexError(
+                f"embedding index out of range [0, {vocab}): "
+                f"min={indices.min()}, max={indices.max()}"
+            )
+        value = weight.data[indices]
+
+        def backward(grad: np.ndarray):
+            full = np.zeros_like(weight.data)
+            np.add.at(full, indices, grad)
+            return (full,)
+
+        return Tensor._make(value, (weight,), backward)
+
 
 def concat(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient support."""
-    tensors = list(tensors)
-    if not tensors:
-        raise ValueError("concat expects at least one tensor")
-    data = np.concatenate([t.data for t in tensors], axis=axis)
-    sizes = [t.data.shape[axis] for t in tensors]
-    splits = np.cumsum(sizes)[:-1]
-
-    def backward(grad: np.ndarray):
-        return tuple(np.split(grad, splits, axis=axis))
-
-    return Tensor._make(data, tensors, backward)
+    return Tensor._concat(tensors, axis=axis)
 
 
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new ``axis`` with gradient support."""
-    tensors = list(tensors)
-    if not tensors:
-        raise ValueError("stack expects at least one tensor")
-    data = np.stack([t.data for t in tensors], axis=axis)
-
-    def backward(grad: np.ndarray):
-        parts = np.split(grad, len(tensors), axis=axis)
-        return tuple(np.squeeze(p, axis=axis) for p in parts)
-
-    return Tensor._make(data, tensors, backward)
+    return Tensor._stack(tensors, axis=axis)
 
 
 def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
@@ -556,22 +594,4 @@ def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
     The backward pass scatters gradients with ``np.add.at`` so repeated
     indices accumulate correctly — the behaviour embedding tables need.
     """
-    indices = np.asarray(indices)
-    if indices.dtype.kind not in "iu":
-        raise TypeError(f"embedding indices must be integers, got {indices.dtype}")
-    if weight.ndim != 2:
-        raise ValueError(f"embedding weight must be 2-D, got {weight.shape}")
-    vocab = weight.shape[0]
-    if indices.size and (indices.min() < 0 or indices.max() >= vocab):
-        raise IndexError(
-            f"embedding index out of range [0, {vocab}): "
-            f"min={indices.min()}, max={indices.max()}"
-        )
-    value = weight.data[indices]
-
-    def backward(grad: np.ndarray):
-        full = np.zeros_like(weight.data)
-        np.add.at(full, indices, grad)
-        return (full,)
-
-    return Tensor._make(value, (weight,), backward)
+    return Tensor._embedding_lookup(weight, indices)

@@ -1,0 +1,78 @@
+"""Dependency-free telemetry layer: metrics, tracing, profiling, logging.
+
+The package provides four composable surfaces:
+
+* :mod:`repro.obs.metrics` — ``Counter`` / ``Gauge`` / ``Histogram``
+  instruments in a :class:`MetricsRegistry`, with scoped activation so
+  instrumented library code reports only when telemetry is on;
+* :mod:`repro.obs.tracing` — nested ``Span``/``Tracer`` wall-clock timing;
+* :mod:`repro.obs.autograd` — an opt-in per-op profiler for the
+  ``repro.nn`` autograd engine;
+* :mod:`repro.obs.callbacks` — the trainer callback interface plus the
+  :class:`TelemetryCallback` metrics adapter with divergence monitoring;
+* :mod:`repro.obs.logging` — structured ``key=value`` logging setup;
+* :mod:`repro.obs.session` — :class:`TelemetrySession`, which activates
+  everything at once and renders JSONL/text run reports (the CLI's
+  ``--telemetry`` flag).
+
+Only numpy and the standard library are used, and every hook is pay-for-
+what-you-use: with no active registry/tracer/profiler the instrumented
+hot paths skip telemetry entirely.
+"""
+
+from repro.obs.autograd import AutogradProfiler, OpStats
+from repro.obs.callbacks import (
+    BatchStats,
+    TelemetryCallback,
+    TrainerCallback,
+    global_callbacks,
+    register_global_callback,
+    unregister_global_callback,
+)
+from repro.obs.logging import configure_logging, get_logger, kv
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_active_registry,
+    use_registry,
+)
+from repro.obs.session import TelemetrySession
+from repro.obs.tracing import (
+    Span,
+    SpanStats,
+    Tracer,
+    get_active_tracer,
+    maybe_span,
+    use_tracer,
+)
+
+__all__ = [
+    "AutogradProfiler",
+    "OpStats",
+    "BatchStats",
+    "TelemetryCallback",
+    "TrainerCallback",
+    "global_callbacks",
+    "register_global_callback",
+    "unregister_global_callback",
+    "configure_logging",
+    "get_logger",
+    "kv",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_active_registry",
+    "use_registry",
+    "TelemetrySession",
+    "Span",
+    "SpanStats",
+    "Tracer",
+    "get_active_tracer",
+    "maybe_span",
+    "use_tracer",
+]

@@ -1,0 +1,223 @@
+"""Opt-in per-op profiling of the autograd engine.
+
+The profiler instruments :class:`repro.nn.tensor.Tensor` by wrapping its
+op methods *on the class*, so every call site in the codebase — including
+modules that imported ``concat``/``stack``/``embedding_lookup`` by value
+(they delegate to ``Tensor`` staticmethods) — reports without any change
+to model code.  For each op it records:
+
+* **forward**: call count and wall-clock seconds of the op call itself
+  (inclusive: composite ops such as ``mean`` also tick their constituent
+  ``sum``/``mul`` calls);
+* **backward**: call count and seconds spent in the op's gradient
+  function, captured by wrapping the ``_backward_fn`` recorded on the op
+  output and therefore attributed to the op that created the node.
+
+The hook is strictly opt-in: when no profiler is enabled the engine runs
+the original unwrapped methods, so disabled telemetry costs nothing.
+
+>>> from repro.obs import AutogradProfiler
+>>> from repro.nn.tensor import Tensor
+>>> with AutogradProfiler() as profiler:
+...     loss = (Tensor([[1.0, 2.0]], requires_grad=True) * 3.0).sum()
+...     loss.backward()
+>>> profiler.report()["mul"].calls
+1
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["OpStats", "AutogradProfiler", "PROFILED_OPS"]
+
+# Method name on Tensor -> human-readable op label.
+PROFILED_OPS: Dict[str, str] = {
+    "__add__": "add",
+    "__radd__": "add",
+    "__sub__": "sub",
+    "__rsub__": "sub",
+    "__mul__": "mul",
+    "__rmul__": "mul",
+    "__truediv__": "div",
+    "__rtruediv__": "div",
+    "__neg__": "neg",
+    "__pow__": "pow",
+    "__matmul__": "matmul",
+    "transpose": "transpose",
+    "reshape": "reshape",
+    "__getitem__": "getitem",
+    "sum": "sum",
+    "max": "max",
+    "mean": "mean",
+    "exp": "exp",
+    "log": "log",
+    "sqrt": "sqrt",
+    "tanh": "tanh",
+    "sigmoid": "sigmoid",
+    "relu": "relu",
+    "leaky_relu": "leaky_relu",
+    "clip": "clip",
+    "abs": "abs",
+    "_concat": "concat",
+    "_stack": "stack",
+    "_embedding_lookup": "embedding_lookup",
+}
+
+
+@dataclass
+class OpStats:
+    """Accumulated forward/backward timing for one op."""
+
+    op: str
+    calls: int = 0
+    forward_seconds: float = 0.0
+    backward_calls: int = 0
+    backward_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.forward_seconds + self.backward_seconds
+
+
+# Only one profiler may patch the Tensor class at a time.
+_ENABLED_PROFILER: Optional["AutogradProfiler"] = None
+
+
+class AutogradProfiler:
+    """Times every autograd op while enabled; context-manager friendly."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, OpStats] = {}
+        self._originals: List[Tuple[str, object]] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _op(self, label: str) -> OpStats:
+        stats = self._stats.get(label)
+        if stats is None:
+            stats = self._stats[label] = OpStats(label)
+        return stats
+
+    def _record_forward(self, label: str, elapsed: float) -> None:
+        stats = self._op(label)
+        stats.calls += 1
+        stats.forward_seconds += elapsed
+
+    def _record_backward(self, label: str, elapsed: float) -> None:
+        stats = self._op(label)
+        stats.backward_calls += 1
+        stats.backward_seconds += elapsed
+
+    def reset(self) -> None:
+        """Drop all accumulated statistics."""
+        self._stats.clear()
+
+    # ------------------------------------------------------------------
+    # Patching
+    # ------------------------------------------------------------------
+    def _wrap(self, label: str, fn):
+        profiler = self
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            start = time.perf_counter()
+            out = fn(*args, **kwargs)
+            profiler._record_forward(label, time.perf_counter() - start)
+            if isinstance(out, Tensor) and out._backward_fn is not None:
+                inner = out._backward_fn
+
+                def timed_backward(grad):
+                    backward_start = time.perf_counter()
+                    result = inner(grad)
+                    profiler._record_backward(
+                        label, time.perf_counter() - backward_start
+                    )
+                    return result
+
+                out._backward_fn = timed_backward
+            return out
+
+        return wrapper
+
+    def enable(self) -> "AutogradProfiler":
+        """Patch the Tensor op methods; raises if a profiler is already on."""
+        global _ENABLED_PROFILER
+        if _ENABLED_PROFILER is self:
+            return self
+        if _ENABLED_PROFILER is not None:
+            raise RuntimeError("another AutogradProfiler is already enabled")
+        for method_name, label in PROFILED_OPS.items():
+            original = Tensor.__dict__[method_name]
+            self._originals.append((method_name, original))
+            fn = original.__func__ if isinstance(original, staticmethod) else original
+            wrapped = self._wrap(label, fn)
+            if isinstance(original, staticmethod):
+                setattr(Tensor, method_name, staticmethod(wrapped))
+            else:
+                setattr(Tensor, method_name, wrapped)
+        _ENABLED_PROFILER = self
+        return self
+
+    def disable(self) -> None:
+        """Restore the original Tensor methods (idempotent)."""
+        global _ENABLED_PROFILER
+        if _ENABLED_PROFILER is not self:
+            return
+        for method_name, original in self._originals:
+            setattr(Tensor, method_name, original)
+        self._originals.clear()
+        _ENABLED_PROFILER = None
+
+    @property
+    def enabled(self) -> bool:
+        return _ENABLED_PROFILER is self
+
+    def __enter__(self) -> "AutogradProfiler":
+        return self.enable()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.disable()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> Dict[str, OpStats]:
+        """Per-op statistics keyed by op label."""
+        return dict(self._stats)
+
+    def iter_records(self):
+        """One JSON-friendly record per op, hottest (by total time) first."""
+        ranked = sorted(
+            self._stats.values(), key=lambda s: s.total_seconds, reverse=True
+        )
+        for stats in ranked:
+            yield {
+                "op": stats.op,
+                "calls": stats.calls,
+                "forward_seconds": stats.forward_seconds,
+                "backward_calls": stats.backward_calls,
+                "backward_seconds": stats.backward_seconds,
+                "total_seconds": stats.total_seconds,
+            }
+
+    def to_text(self) -> str:
+        """Per-op breakdown table ordered by total time."""
+        header = (
+            f"{'op':<18}{'calls':>8}{'fwd_s':>12}{'bwd_calls':>11}{'bwd_s':>12}"
+            f"{'total_s':>12}"
+        )
+        lines = [header, "-" * len(header)]
+        for record in self.iter_records():
+            lines.append(
+                f"{record['op']:<18}{record['calls']:>8}"
+                f"{record['forward_seconds']:>12.6f}{record['backward_calls']:>11}"
+                f"{record['backward_seconds']:>12.6f}{record['total_seconds']:>12.6f}"
+            )
+        return "\n".join(lines)

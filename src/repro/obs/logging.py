@@ -1,0 +1,80 @@
+"""Structured logging for the reproduction.
+
+All repo loggers live under the ``"repro"`` namespace so one call to
+:func:`configure_logging` controls the whole stack (the CLI exposes it as
+``--log-level``).  The formatter emits ``key=value`` structured lines:
+
+    2026-08-05 12:00:00,123 level=INFO logger=repro.experiments msg="table1 finished" elapsed_s=4.21
+
+Handlers installed by :func:`configure_logging` are tagged so repeated
+configuration replaces rather than stacks them.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = ["LOGGER_NAME", "get_logger", "configure_logging", "kv"]
+
+LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s level=%(levelname)s logger=%(name)s %(message)s"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the shared ``repro`` namespace."""
+    return logging.getLogger(f"{LOGGER_NAME}.{name}" if name else LOGGER_NAME)
+
+
+def kv(message: str, **fields) -> str:
+    """Render ``msg="..."`` plus ``key=value`` pairs for structured lines."""
+    parts = [f'msg="{message}"']
+    for key, value in fields.items():
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.6g}")
+        elif isinstance(value, str) and (" " in value or not value):
+            parts.append(f'{key}="{value}"')
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def configure_logging(
+    level: str = "info", stream: Optional["IO[str]"] = None
+) -> logging.Logger:
+    """Install (or replace) the repro log handler at ``level``.
+
+    Parameters
+    ----------
+    level:
+        One of ``debug`` / ``info`` / ``warning`` / ``error``
+        (case-insensitive).
+    stream:
+        Destination stream; defaults to ``sys.stderr``.
+    """
+    try:
+        resolved = _LEVELS[level.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {sorted(_LEVELS)}"
+        ) from None
+    logger = logging.getLogger(LOGGER_NAME)
+    logger.setLevel(resolved)
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler._repro_obs_handler = True
+    logger.addHandler(handler)
+    return logger

@@ -1,0 +1,183 @@
+"""One-stop telemetry for a whole run.
+
+A :class:`TelemetrySession` bundles the four telemetry surfaces — a
+:class:`~repro.obs.metrics.MetricsRegistry`, a
+:class:`~repro.obs.tracing.Tracer`, an (optional)
+:class:`~repro.obs.autograd.AutogradProfiler` and a
+:class:`~repro.obs.callbacks.TelemetryCallback` — activates them all for
+the enclosed block, and renders a combined run report afterwards.  This
+is what the CLI's ``--telemetry <path>`` flag drives:
+
+>>> from repro.obs import TelemetrySession
+>>> with TelemetrySession(profile_autograd=False) as session:
+...     session.registry.counter("demo.work").inc()
+>>> "demo.work" in session.registry
+True
+
+The JSONL report is one JSON object per line, discriminated by ``type``:
+``meta``, ``epoch``, ``counter``, ``gauge``, ``histogram``,
+``autograd_op`` and ``span`` (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, IO, Iterator, List, Optional, Union
+
+from repro.obs.autograd import AutogradProfiler
+from repro.obs.callbacks import (
+    TelemetryCallback,
+    register_global_callback,
+    unregister_global_callback,
+)
+from repro.obs.logging import get_logger, kv
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.tracing import Tracer, use_tracer
+
+__all__ = ["TelemetrySession"]
+
+_LOGGER = get_logger("obs.session")
+
+# Pre-registered names so run reports always carry the serving-path and
+# trainer-stability counters, even when a run never exercised them.
+_STANDARD_COUNTERS = (
+    "engine.refreshes",
+    "engine.cold_path_items",
+    "engine.warm_path_items",
+    "engine.events_ingested",
+    "store.events_ingested",
+    "trainer.batches",
+    "trainer.divergence_warning",
+)
+
+
+class TelemetrySession:
+    """Activates registry + tracer + profiler + trainer callback together.
+
+    Parameters
+    ----------
+    registry:
+        Use an existing registry instead of a fresh one.
+    profile_autograd:
+        Attach the per-op autograd profiler (small per-op overhead while
+        the session is open; out-of-session code is never affected).
+    label:
+        Free-form run label recorded in the report's ``meta`` line.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        profile_autograd: bool = True,
+        label: str = "",
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = Tracer()
+        self.profiler = AutogradProfiler() if profile_autograd else None
+        self.callback = TelemetryCallback(self.registry)
+        self.label = label
+        self._started_unix: Optional[float] = None
+        self._stopped_unix: Optional[float] = None
+        self._registry_scope: Optional[use_registry] = None
+        self._tracer_scope: Optional[use_tracer] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "TelemetrySession":
+        if self._registry_scope is not None:
+            raise RuntimeError("telemetry session is already started")
+        for name in _STANDARD_COUNTERS:
+            self.registry.counter(name)
+        self._registry_scope = use_registry(self.registry)
+        self._registry_scope.__enter__()
+        self._tracer_scope = use_tracer(self.tracer)
+        self._tracer_scope.__enter__()
+        register_global_callback(self.callback)
+        if self.profiler is not None:
+            self.profiler.enable()
+        self._started_unix = time.time()
+        self._stopped_unix = None
+        _LOGGER.debug(kv("telemetry session started", label=self.label))
+        return self
+
+    def stop(self) -> None:
+        if self._registry_scope is None:
+            return
+        self._stopped_unix = time.time()
+        if self.profiler is not None:
+            self.profiler.disable()
+        unregister_global_callback(self.callback)
+        if self._tracer_scope is not None:
+            self._tracer_scope.__exit__(None, None, None)
+            self._tracer_scope = None
+        self._registry_scope.__exit__(None, None, None)
+        self._registry_scope = None
+        _LOGGER.debug(kv("telemetry session stopped", label=self.label))
+
+    def __enter__(self) -> "TelemetrySession":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def iter_records(self) -> Iterator[Dict[str, object]]:
+        """Every report line as a JSON-friendly dict."""
+        meta: Dict[str, object] = {
+            "type": "meta",
+            "label": self.label,
+            "started_unix": self._started_unix,
+            "stopped_unix": self._stopped_unix,
+        }
+        if self._started_unix is not None:
+            meta["duration_seconds"] = (
+                self._stopped_unix or time.time()
+            ) - self._started_unix
+        yield meta
+        for index, record in enumerate(self.callback.epochs):
+            yield {"type": "epoch", "index": index, "record": record}
+        for record in self.registry.iter_records():
+            yield dict(record)  # carries its own "type" discriminator
+        if self.profiler is not None:
+            for record in self.profiler.iter_records():
+                out: Dict[str, object] = {"type": "autograd_op"}
+                out.update(record)
+                yield out
+        for record in self.tracer.iter_records():
+            out = {"type": "span"}
+            out.update(record)
+            yield out
+
+    def write_jsonl(self, destination: Union[str, "IO[str]"]) -> None:
+        """Dump the run report, one JSON object per line."""
+        if hasattr(destination, "write"):
+            for record in self.iter_records():
+                destination.write(json.dumps(record) + "\n")
+        else:
+            Path(destination).parent.mkdir(parents=True, exist_ok=True)
+            with open(destination, "w", encoding="utf-8") as handle:
+                for record in self.iter_records():
+                    handle.write(json.dumps(record) + "\n")
+
+    def render_text(self) -> str:
+        """Short human-readable summary of the run."""
+        lines: List[str] = [f"telemetry report{f' ({self.label})' if self.label else ''}"]
+        if self.callback.epochs:
+            lines.append(f"  epochs recorded: {len(self.callback.epochs)}")
+        metrics_text = self.registry.to_text()
+        if metrics_text:
+            lines.append("  metrics:")
+            lines.extend("    " + line for line in metrics_text.splitlines())
+        if self.profiler is not None and self.profiler.report():
+            lines.append("  autograd ops (hottest first):")
+            lines.extend("    " + line for line in self.profiler.to_text().splitlines())
+        spans_text = self.tracer.to_text()
+        if spans_text:
+            lines.append("  spans:")
+            lines.extend("    " + line for line in spans_text.splitlines())
+        return "\n".join(lines)

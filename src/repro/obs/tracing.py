@@ -1,0 +1,174 @@
+"""Span tracing: nested wall-clock timing with call counts.
+
+A :class:`Tracer` aggregates timing by *span path*: entering a span while
+another is open nests it, and the child's statistics are recorded under
+``"parent/child"``.  Spans are cheap (two ``perf_counter`` calls plus a
+dict update), so instrumented paths can stay traced in production runs.
+
+>>> from repro.obs import Tracer
+>>> tracer = Tracer()
+>>> with tracer.span("refresh"):
+...     with tracer.span("encode"):
+...         pass
+>>> sorted(tracer.report())
+['refresh', 'refresh/encode']
+
+Instrumented library code uses :func:`maybe_span`, which resolves the
+currently active tracer (see :class:`use_tracer`) and degrades to a no-op
+context manager when tracing is off.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["SpanStats", "Span", "Tracer", "get_active_tracer", "use_tracer", "maybe_span"]
+
+
+@dataclass
+class SpanStats:
+    """Aggregated timing for one span path."""
+
+    calls: int = 0
+    total_seconds: float = 0.0
+    min_seconds: float = math.inf
+    max_seconds: float = 0.0
+
+    def record(self, elapsed: float) -> None:
+        self.calls += 1
+        self.total_seconds += elapsed
+        self.min_seconds = min(self.min_seconds, elapsed)
+        self.max_seconds = max(self.max_seconds, elapsed)
+
+
+class Span:
+    """Context manager timing one section under the tracer's current path."""
+
+    __slots__ = ("_tracer", "name", "path", "_start", "elapsed")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        if not name or "/" in name:
+            raise ValueError(f"span name must be non-empty and '/'-free, got {name!r}")
+        self._tracer = tracer
+        self.name = name
+        self.path: Optional[str] = None
+        self._start: Optional[float] = None
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Span":
+        self.path = self._tracer._push(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if self._start is None:
+            return
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+        self._tracer._pop(self.path, self.elapsed)
+
+
+class Tracer:
+    """Collects :class:`SpanStats` keyed by nested span path."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, SpanStats] = {}
+        self._stack: List[str] = []
+
+    def span(self, name: str) -> Span:
+        """A context manager timing ``name`` nested under any open spans."""
+        return Span(self, name)
+
+    def _push(self, name: str) -> str:
+        path = f"{self._stack[-1]}/{name}" if self._stack else name
+        self._stack.append(path)
+        return path
+
+    def _pop(self, path: str, elapsed: float) -> None:
+        if self._stack and self._stack[-1] == path:
+            self._stack.pop()
+        self._stats.setdefault(path, SpanStats()).record(elapsed)
+
+    def stats(self, path: str) -> SpanStats:
+        """Aggregated stats for one span path (KeyError if never entered)."""
+        return self._stats[path]
+
+    def report(self) -> Dict[str, SpanStats]:
+        """All span paths with their aggregated stats."""
+        return dict(self._stats)
+
+    def iter_records(self):
+        """One JSON-friendly record per span path (sorted)."""
+        for path in sorted(self._stats):
+            stats = self._stats[path]
+            yield {
+                "path": path,
+                "calls": stats.calls,
+                "total_seconds": stats.total_seconds,
+                "min_seconds": stats.min_seconds,
+                "max_seconds": stats.max_seconds,
+            }
+
+    def to_text(self) -> str:
+        """Indented tree-ish dump ordered by path."""
+        lines = []
+        for record in self.iter_records():
+            depth = record["path"].count("/")
+            lines.append(
+                "  " * depth
+                + f"{record['path'].rsplit('/', 1)[-1]} "
+                + f"calls={record['calls']} total={record['total_seconds']:.6g}s"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Active-tracer scoping
+# ----------------------------------------------------------------------
+_ACTIVE_TRACERS: List[Tracer] = []
+
+
+def get_active_tracer() -> Optional[Tracer]:
+    """The innermost active tracer, or None when tracing is off."""
+    return _ACTIVE_TRACERS[-1] if _ACTIVE_TRACERS else None
+
+
+class use_tracer:
+    """Context manager activating ``tracer`` for the enclosed block."""
+
+    def __init__(self, tracer: Tracer) -> None:
+        self._tracer = tracer
+
+    def __enter__(self) -> Tracer:
+        _ACTIVE_TRACERS.append(self._tracer)
+        return self._tracer
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        for position in range(len(_ACTIVE_TRACERS) - 1, -1, -1):
+            if _ACTIVE_TRACERS[position] is self._tracer:
+                del _ACTIVE_TRACERS[position]
+                break
+
+
+class _NullSpan:
+    """No-op stand-in used when no tracer is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def maybe_span(name: str):
+    """A span on the active tracer, or a shared no-op context manager."""
+    tracer = get_active_tracer()
+    return tracer.span(name) if tracer is not None else _NULL_SPAN

@@ -17,6 +17,7 @@ promotions.  :class:`RealTimeEngine` simulates that serving loop:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -28,6 +29,8 @@ from repro.data.dataset import FeatureTable
 from repro.data.schema import GROUP_ITEM_PROFILE, GROUP_ITEM_STAT, GROUP_USER
 from repro.data.synthetic.common import sigmoid
 from repro.nn.tensor import no_grad
+from repro.obs.metrics import get_active_registry
+from repro.obs.tracing import maybe_span
 from repro.serving.events import Event
 from repro.serving.feature_store import ItemStatisticsStore
 
@@ -99,6 +102,9 @@ class RealTimeEngine:
         applied = self.store.ingest(events)
         self._events_seen += applied
         self._scores = None
+        registry = get_active_registry()
+        if registry is not None:
+            registry.counter("engine.events_ingested").inc(applied)
         return applied
 
     @property
@@ -126,6 +132,7 @@ class RealTimeEngine:
         statistics, which the paper's engine uses once behaviour data
         accumulates.
         """
+        start = time.perf_counter()
         n = len(self.catalogue)
         slots = np.arange(n)
         features = self._profile_features(slots)
@@ -136,7 +143,7 @@ class RealTimeEngine:
         was_training = self.model.training
         self.model.eval()
         try:
-            with no_grad():
+            with no_grad(), maybe_span("engine.refresh"):
                 item_vectors = self.model.generated_item_vectors(features).data
                 warm = self.store.warm_slots(self.config.warm_view_threshold)
                 if warm.size:
@@ -152,6 +159,15 @@ class RealTimeEngine:
         self._scores = self.predictor.score_item_vectors(item_vectors)
         self._item_vectors = item_vectors
         self._refreshes += 1
+        registry = get_active_registry()
+        if registry is not None:
+            n_warm = int(warm.size)
+            registry.counter("engine.refreshes").inc()
+            registry.counter("engine.warm_path_items").inc(n_warm)
+            registry.counter("engine.cold_path_items").inc(n - n_warm)
+            registry.histogram("engine.refresh_seconds").observe(
+                time.perf_counter() - start
+            )
         return self._scores
 
     def scores(self) -> np.ndarray:
@@ -183,6 +199,7 @@ class RealTimeEngine:
         k:
             Number of recommendations.
         """
+        start = time.perf_counter()
         self.scores()  # ensure vectors are fresh
         names = self.model.schema.all_column_names(GROUP_USER)
         missing = [name for name in names if name not in user_features]
@@ -204,4 +221,10 @@ class RealTimeEngine:
         if not 1 <= k <= personal.size:
             raise ValueError(f"k must be in [1, {personal.size}], got {k}")
         top = np.argpartition(personal, -k)[-k:]
+        registry = get_active_registry()
+        if registry is not None:
+            registry.counter("engine.recommend_requests").inc()
+            registry.histogram("engine.recommend_seconds").observe(
+                time.perf_counter() - start
+            )
         return top[np.argsort(personal[top])[::-1]]

@@ -8,11 +8,13 @@ fall back to the generator path.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.obs.metrics import get_active_registry
 from repro.serving.events import Event, EventKind
 
 __all__ = ["ItemCounters", "ItemStatisticsStore"]
@@ -79,6 +81,7 @@ class ItemStatisticsStore:
     # ------------------------------------------------------------------
     def ingest(self, events: Sequence[Event]) -> int:
         """Apply a batch of events; returns how many were applied."""
+        start = time.perf_counter()
         applied = 0
         for event in events:
             if event.item_id >= self.n_slots:
@@ -88,6 +91,13 @@ class ItemStatisticsStore:
                 )
             self._counters[event.item_id].update(event)
             applied += 1
+        registry = get_active_registry()
+        if registry is not None and applied:
+            elapsed = time.perf_counter() - start
+            registry.counter("store.events_ingested").inc(applied)
+            registry.histogram("store.ingest_seconds").observe(elapsed)
+            if elapsed > 0:
+                registry.gauge("store.events_per_second").set(applied / elapsed)
         return applied
 
     def counters(self, slot: int) -> ItemCounters:

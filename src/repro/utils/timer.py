@@ -5,11 +5,19 @@ from __future__ import annotations
 import time
 from typing import Callable, Optional
 
+from repro.obs.metrics import get_active_registry
+
 __all__ = ["Timer", "time_callable"]
 
 
 class Timer:
     """Context manager measuring elapsed wall-clock seconds.
+
+    The timer is safely re-enterable — each ``with`` block overwrites
+    :attr:`elapsed` — and exiting a timer that was never entered is a
+    no-op rather than an error.  A *named* timer additionally reports
+    each measurement into the active metrics registry (when one is
+    active) as the histogram ``timer.<name>``.
 
     Example
     -------
@@ -20,7 +28,8 @@ class Timer:
     True
     """
 
-    def __init__(self) -> None:
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name
         self.elapsed: float = 0.0
         self._start: Optional[float] = None
 
@@ -29,7 +38,14 @@ class Timer:
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if self._start is None:  # exited without (or after) entering
+            return
         self.elapsed = time.perf_counter() - self._start
+        self._start = None
+        if self.name:
+            registry = get_active_registry()
+            if registry is not None:
+                registry.histogram(f"timer.{self.name}").observe(self.elapsed)
 
 
 def time_callable(fn: Callable[[], object], repeats: int = 3) -> float:

@@ -1,0 +1,68 @@
+"""TrainingHistory serialisation round-trip and summary rendering."""
+
+import json
+
+import pytest
+
+from repro.core import TrainingHistory
+
+
+@pytest.fixture
+def history():
+    return TrainingHistory(
+        records=[
+            {"loss_i": 0.9, "loss_g": 0.8},
+            {"loss_i": 0.7, "loss_g": 0.6, "valid_auc_encoder": 0.71},
+        ]
+    )
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_identity(self, history):
+        assert TrainingHistory.from_dict(history.to_dict()).records == history.records
+
+    def test_survives_json(self, history):
+        payload = json.loads(json.dumps(history.to_dict()))
+        rebuilt = TrainingHistory.from_dict(payload)
+        assert rebuilt.series("loss_i") == [0.9, 0.7]
+        assert rebuilt.last("valid_auc_encoder") == 0.71
+
+    def test_to_dict_copies_records(self, history):
+        history.to_dict()["records"][0]["loss_i"] = -1.0
+        assert history.records[0]["loss_i"] == 0.9
+
+    def test_from_dict_coerces_types(self):
+        rebuilt = TrainingHistory.from_dict({"records": [{"loss": 1}]})
+        value = rebuilt.last("loss")
+        assert isinstance(value, float) and value == 1.0
+
+    def test_from_dict_validation(self):
+        with pytest.raises(ValueError):
+            TrainingHistory.from_dict({})
+        with pytest.raises(ValueError):
+            TrainingHistory.from_dict({"records": "oops"})
+        with pytest.raises(ValueError):
+            TrainingHistory.from_dict({"records": [["not", "a", "dict"]]})
+
+    def test_empty_round_trip(self):
+        assert TrainingHistory.from_dict(TrainingHistory().to_dict()).n_epochs == 0
+
+
+class TestSummary:
+    def test_empty(self):
+        assert TrainingHistory().summary() == "TrainingHistory: empty"
+
+    def test_first_to_last_per_key(self, history):
+        text = history.summary()
+        assert text.startswith("TrainingHistory: 2 epochs;")
+        assert "loss_i 0.9000→0.7000" in text
+        assert "valid_auc_encoder 0.7100" in text  # single value, no arrow
+
+    def test_singular_epoch(self):
+        text = TrainingHistory(records=[{"loss": 0.5}]).summary()
+        assert "1 epoch;" in text and "epochs" not in text
+
+
+class TestKeys:
+    def test_order_of_first_appearance(self, history):
+        assert history.keys() == ["loss_i", "loss_g", "valid_auc_encoder"]

@@ -36,6 +36,39 @@ class TestMainWithStub:
         assert cli.main(["complexity", "--output", str(tmp_path)]) == 0
         assert not (tmp_path / "complexity.json").exists()
 
+    def test_telemetry_report_written(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setattr(cli, "run_experiment", lambda name, preset: _FakeResult())
+        report = tmp_path / "run.jsonl"
+        assert cli.main(["table1", "--preset", "smoke", "--telemetry", str(report)]) == 0
+        records = [json.loads(line) for line in report.read_text().splitlines()]
+        meta = records[0]
+        assert meta["type"] == "meta"
+        assert meta["label"] == "table1:smoke"
+        # Serving/trainer counters are pre-registered in every report.
+        counter_names = {r["name"] for r in records if r["type"] == "counter"}
+        assert {"engine.refreshes", "trainer.divergence_warning"} <= counter_names
+        assert "telemetry report written" in capsys.readouterr().out
+
+    def test_telemetry_written_even_when_experiment_fails(
+        self, monkeypatch, tmp_path
+    ):
+        def boom(name, preset):
+            raise ValueError("unknown experiment")
+
+        monkeypatch.setattr(cli, "run_experiment", boom)
+        report = tmp_path / "run.jsonl"
+        assert cli.main(["nope", "--telemetry", str(report)]) == 2
+        assert report.exists()
+
+    def test_no_telemetry_flag_writes_nothing(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(cli, "run_experiment", lambda name, preset: _FakeResult())
+        assert cli.main(["table1"]) == 0
+        assert not list(tmp_path.iterdir())
+
+    def test_log_level_flag_accepted(self, monkeypatch):
+        monkeypatch.setattr(cli, "run_experiment", lambda name, preset: _FakeResult())
+        assert cli.main(["table1", "--log-level", "debug"]) == 0
+
     def test_preset_forwarded(self, monkeypatch):
         captured = {}
 

@@ -1,0 +1,75 @@
+"""Span/Tracer timing semantics."""
+
+import time
+
+import pytest
+
+from repro.obs import Tracer, get_active_tracer, maybe_span, use_tracer
+
+
+class TestTracer:
+    def test_span_records_calls_and_time(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("work"):
+                time.sleep(0.001)
+        stats = tracer.stats("work")
+        assert stats.calls == 3
+        assert stats.total_seconds >= 0.003
+        assert stats.min_seconds <= stats.max_seconds
+
+    def test_nested_spans_build_paths(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert sorted(tracer.report()) == ["outer", "outer/inner"]
+
+    def test_nested_timing_monotonic(self):
+        """A parent span's wall clock dominates the sum of its children."""
+        tracer = Tracer()
+        with tracer.span("parent"):
+            for _ in range(4):
+                with tracer.span("child"):
+                    time.sleep(0.001)
+        parent = tracer.stats("parent")
+        child = tracer.stats("parent/child")
+        assert child.calls == 4
+        assert parent.total_seconds >= child.total_seconds
+
+    def test_sibling_spans_share_parent_path(self):
+        tracer = Tracer()
+        with tracer.span("p"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert sorted(tracer.report()) == ["p", "p/a", "p/b"]
+
+    def test_span_name_validation(self):
+        with pytest.raises(ValueError):
+            Tracer().span("a/b")
+        with pytest.raises(ValueError):
+            Tracer().span("")
+
+    def test_records_and_text(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        records = list(tracer.iter_records())
+        assert records[0]["path"] == "x" and records[0]["calls"] == 1
+        assert "x" in tracer.to_text()
+
+
+class TestActiveTracer:
+    def test_maybe_span_noop_without_tracer(self):
+        assert get_active_tracer() is None
+        with maybe_span("anything"):
+            pass  # must not raise and must not record anywhere
+
+    def test_maybe_span_records_on_active_tracer(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with maybe_span("tick"):
+                pass
+        assert tracer.stats("tick").calls == 1

@@ -82,6 +82,48 @@ class TestTimer:
             time.sleep(0.01)
         assert timer.elapsed >= 0.01
 
+    def test_exit_without_enter_is_noop(self):
+        timer = Timer()
+        timer.__exit__(None, None, None)  # must not raise
+        assert timer.elapsed == 0.0
+
+    def test_reenterable(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.002)
+        first = timer.elapsed
+        with timer:
+            pass
+        assert timer.elapsed < first  # second run overwrote the first
+
+    def test_double_exit_keeps_first_measurement(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.002)
+        first = timer.elapsed
+        timer.__exit__(None, None, None)
+        assert timer.elapsed == first
+
+    def test_named_timer_reports_to_active_registry(self):
+        from repro.obs import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            with Timer("step"):
+                pass
+            with Timer("step"):
+                pass
+        assert registry.histogram("timer.step").count == 2
+
+    def test_unnamed_timer_registers_nothing(self):
+        from repro.obs import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            with Timer():
+                pass
+        assert not registry.names()
+
     def test_time_callable_returns_minimum(self):
         value = time_callable(lambda: time.sleep(0.002), repeats=2)
         assert 0.001 < value < 0.5
