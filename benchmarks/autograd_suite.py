@@ -1,0 +1,324 @@
+"""Machine-readable autograd benchmark suite (``BENCH_autograd.json``).
+
+Measures the sparse-gradient fast path against the legacy dense path on an
+embedding-heavy train step (large id vocabularies, batch 512) inside one
+process, plus the float32 compute mode and the serving engine's
+incremental refresh.  Emits a JSON report consumed by the CI smoke job and
+two per-op breakdowns (dense vs sparse) via the ``repro.obs`` autograd
+profiler.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/autograd_suite.py --preset smoke
+
+The regression check compares the *speedup ratio* (sparse vs dense in the
+same run) rather than absolute wall-time, so a committed baseline remains
+meaningful across machines::
+
+    PYTHONPATH=src python benchmarks/autograd_suite.py --preset smoke \
+        --baseline benchmarks/results/BENCH_autograd.json --max-regression 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn import Tensor, default_dtype, use_sparse_grads
+from repro.nn.layers.embedding import FeatureEmbeddings
+from repro.nn.layers.linear import Linear
+from repro.nn.losses import binary_cross_entropy_with_logits
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+from repro.obs import AutogradProfiler
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+PRESETS = {
+    # Smoke: seconds, for CI. Default: the committed reference numbers.
+    "smoke": {
+        "vocab_sizes": {"user_id": 50_000, "item_id": 30_000, "category": 500},
+        "embedding_dims": {"user_id": 16, "item_id": 16, "category": 8},
+        "batch_size": 512,
+        "steps": 10,
+        "warmup_steps": 2,
+        "engine": {"n_users": 200, "n_items": 300, "n_new_items": 400,
+                   "n_interactions": 4_000},
+    },
+    "default": {
+        "vocab_sizes": {"user_id": 200_000, "item_id": 100_000, "category": 1_000},
+        "embedding_dims": {"user_id": 32, "item_id": 32, "category": 8},
+        "batch_size": 512,
+        "steps": 30,
+        "warmup_steps": 5,
+        "engine": {"n_users": 400, "n_items": 600, "n_new_items": 2_000,
+                   "n_interactions": 8_000},
+    },
+}
+
+
+class _EmbeddingHeavyModel(Module):
+    """Wide embedding bank + a thin head: the shape that stresses the
+    embedding backward and the optimizer sweep."""
+
+    def __init__(self, vocab_sizes, embedding_dims, rng) -> None:
+        super().__init__()
+        self.embeddings = FeatureEmbeddings(vocab_sizes, embedding_dims, rng=rng)
+        self.head = Linear(self.embeddings.output_dim, 1, rng=rng)
+
+    def forward(self, features) -> Tensor:
+        return self.head(self.embeddings(features)).reshape((-1,))
+
+
+def _make_batch(vocab_sizes, batch_size, rng):
+    return {
+        name: rng.integers(0, size, size=batch_size)
+        for name, size in vocab_sizes.items()
+    }
+
+
+def _timed_steps(model, optimizer, batches, labels):
+    """Run one train step per batch, returning per-step wall times."""
+    times = []
+    for features in batches:
+        start = time.perf_counter()
+        optimizer.zero_grad()
+        loss = binary_cross_entropy_with_logits(model(features), labels)
+        loss.backward()
+        optimizer.step()
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def _run_variant(preset, sparse, dtype, profile=False, seed=0):
+    """Time the embedding-heavy train step for one engine configuration."""
+    config = PRESETS[preset]
+    rng = np.random.default_rng(seed)
+    with default_dtype(dtype):
+        model = _EmbeddingHeavyModel(
+            config["vocab_sizes"], config["embedding_dims"], rng
+        )
+        model.to_dtype(dtype)
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        labels = (rng.random(config["batch_size"]) < 0.3).astype(float)
+        batches = [
+            _make_batch(config["vocab_sizes"], config["batch_size"], rng)
+            for _ in range(config["warmup_steps"] + config["steps"])
+        ]
+        profiler = AutogradProfiler() if profile else None
+        with use_sparse_grads(sparse):
+            _timed_steps(model, optimizer, batches[: config["warmup_steps"]], labels)
+            if profiler is not None:
+                profiler.enable()
+            try:
+                times = _timed_steps(
+                    model, optimizer, batches[config["warmup_steps"] :], labels
+                )
+            finally:
+                if profiler is not None:
+                    profiler.disable()
+    return {
+        "seconds_per_step": float(np.mean(times)),
+        "seconds_per_step_median": float(np.median(times)),
+        "seconds_per_step_std": float(np.std(times)),
+        "steps": len(times),
+        "per_op": list(profiler.iter_records()) if profiler else None,
+        "breakdown_text": profiler.to_text() if profiler else None,
+    }
+
+
+def _check_parity(preset):
+    """Sparse and dense backward must agree exactly (float64)."""
+    config = PRESETS[preset]
+    rng = np.random.default_rng(1)
+    batch = _make_batch(config["vocab_sizes"], config["batch_size"], rng)
+    labels = (rng.random(config["batch_size"]) < 0.3).astype(float)
+
+    def grads(sparse):
+        model = _EmbeddingHeavyModel(
+            config["vocab_sizes"], config["embedding_dims"],
+            np.random.default_rng(2),
+        )
+        with use_sparse_grads(sparse):
+            loss = binary_cross_entropy_with_logits(model(batch), labels)
+            loss.backward()
+        return [np.asarray(p.grad) for p in model.parameters()]
+
+    for sparse_grad, dense_grad in zip(grads(True), grads(False)):
+        np.testing.assert_allclose(sparse_grad, dense_grad, rtol=1e-10, atol=1e-12)
+    return True
+
+
+def _bench_engine_refresh(preset):
+    """Full vs incremental serving refresh after a small event burst."""
+    from repro.core import ATNN, TowerConfig
+    from repro.data.synthetic import TmallConfig, generate_tmall_world
+    from repro.serving import EngineConfig, RealTimeEngine, generate_event_stream
+
+    sizes = PRESETS[preset]["engine"]
+    world = generate_tmall_world(TmallConfig(seed=2, **sizes))
+    model = ATNN(
+        world.schema,
+        TowerConfig(vector_dim=16, deep_dims=(32, 16), head_dims=(32,),
+                    num_cross_layers=1),
+        rng=np.random.default_rng(0),
+    )
+    engine = RealTimeEngine(
+        model, world.new_items, world.active_user_group(0.25),
+        EngineConfig(warm_view_threshold=5),
+    )
+    engine.refresh()
+    rng = np.random.default_rng(3)
+    touched = np.arange(10)
+
+    def ingest():
+        engine.ingest(
+            generate_event_stream(world, touched, n_events=200, rng=rng)
+        )
+
+    ingest()
+    start = time.perf_counter()
+    engine.refresh(full=True)
+    full_seconds = time.perf_counter() - start
+
+    ingest()
+    start = time.perf_counter()
+    engine.refresh()
+    incremental_seconds = time.perf_counter() - start
+    return {
+        "catalogue_slots": int(len(world.new_items)),
+        "touched_slots": int(touched.size),
+        "full_seconds": full_seconds,
+        "incremental_seconds": incremental_seconds,
+        "speedup": full_seconds / max(incremental_seconds, 1e-12),
+    }
+
+
+def run_suite(preset: str) -> dict:
+    config = PRESETS[preset]
+    print(f"[autograd-suite] preset={preset} "
+          f"vocab={sum(config['vocab_sizes'].values())} "
+          f"batch={config['batch_size']} steps={config['steps']}")
+
+    print("[autograd-suite] parity: sparse vs dense gradients (float64) ...")
+    parity = _check_parity(preset)
+
+    print("[autograd-suite] dense float64 (legacy path) ...")
+    dense_f64 = _run_variant(preset, sparse=False, dtype=np.float64, profile=True)
+    print(f"  {dense_f64['seconds_per_step'] * 1e3:.2f} ms/step")
+    print("[autograd-suite] sparse float64 (fast path) ...")
+    sparse_f64 = _run_variant(preset, sparse=True, dtype=np.float64, profile=True)
+    print(f"  {sparse_f64['seconds_per_step'] * 1e3:.2f} ms/step")
+    print("[autograd-suite] sparse float32 ...")
+    sparse_f32 = _run_variant(preset, sparse=True, dtype=np.float32)
+    print(f"  {sparse_f32['seconds_per_step'] * 1e3:.2f} ms/step")
+
+    print("[autograd-suite] serving refresh full vs incremental ...")
+    engine = _bench_engine_refresh(preset)
+    print(f"  full {engine['full_seconds'] * 1e3:.2f} ms vs incremental "
+          f"{engine['incremental_seconds'] * 1e3:.2f} ms "
+          f"({engine['speedup']:.1f}x)")
+
+    speedup = dense_f64["seconds_per_step"] / sparse_f64["seconds_per_step"]
+    report = {
+        "preset": preset,
+        "config": {k: config[k] for k in
+                   ("vocab_sizes", "embedding_dims", "batch_size", "steps")},
+        "gradcheck_parity": parity,
+        "train_step": {
+            "dense_f64": {k: dense_f64[k] for k in
+                          ("seconds_per_step", "seconds_per_step_median",
+                           "seconds_per_step_std", "steps")},
+            "sparse_f64": {k: sparse_f64[k] for k in
+                           ("seconds_per_step", "seconds_per_step_median",
+                            "seconds_per_step_std", "steps")},
+            "sparse_f32": {k: sparse_f32[k] for k in
+                           ("seconds_per_step", "seconds_per_step_median",
+                            "seconds_per_step_std", "steps")},
+            "speedup_sparse_vs_dense": speedup,
+            "speedup_f32_vs_f64": (
+                sparse_f64["seconds_per_step"] / sparse_f32["seconds_per_step"]
+            ),
+        },
+        "per_op": {
+            "dense_f64": dense_f64["per_op"],
+            "sparse_f64": sparse_f64["per_op"],
+        },
+        "serving_refresh": engine,
+    }
+    print(f"[autograd-suite] sparse-vs-dense speedup: {speedup:.2f}x")
+    return report, dense_f64["breakdown_text"], sparse_f64["breakdown_text"]
+
+
+def check_regression(report: dict, baseline_path: Path, max_regression: float) -> bool:
+    """True when the measured speedup has not collapsed vs the baseline.
+
+    Compares the dimensionless sparse-vs-dense speedup ratio so the check
+    is stable across machines of different absolute speed.
+    """
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    reference = baseline["train_step"]["speedup_sparse_vs_dense"]
+    measured = report["train_step"]["speedup_sparse_vs_dense"]
+    floor = reference / max_regression
+    print(f"[autograd-suite] regression check: measured speedup "
+          f"{measured:.2f}x vs baseline {reference:.2f}x "
+          f"(floor {floor:.2f}x)")
+    return measured >= floor
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="default")
+    parser.add_argument(
+        "--output", type=Path, default=RESULTS_DIR / "BENCH_autograd.json"
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="Committed BENCH_autograd.json to check for regressions against.",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=2.0,
+        help="Fail when the speedup ratio drops below baseline / this factor.",
+    )
+    parser.add_argument(
+        "--skip-breakdown-artifacts", action="store_true",
+        help="Do not (re)write the per-op breakdown text artifacts.",
+    )
+    args = parser.parse_args(argv)
+
+    report, dense_text, sparse_text = run_suite(args.preset)
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"[autograd-suite] wrote {args.output}")
+
+    if not args.skip_breakdown_artifacts:
+        breakdown = (
+            "dense (legacy np.add.at) embedding-heavy train step\n"
+            f"{dense_text}\n\n"
+            "sparse (SparseGrad fast path) embedding-heavy train step\n"
+            f"{sparse_text}\n"
+        )
+        path = RESULTS_DIR / "autograd_sparse_op_breakdown.txt"
+        path.write_text(breakdown, encoding="utf-8")
+        print(f"[autograd-suite] wrote {path}")
+
+    if args.baseline is not None:
+        if not args.baseline.exists():
+            print(f"[autograd-suite] FAIL: baseline {args.baseline} not found")
+            return 1
+        if not check_regression(report, args.baseline, args.max_regression):
+            print("[autograd-suite] FAIL: speedup regressed beyond the "
+                  f"allowed {args.max_regression}x factor")
+            return 1
+        print("[autograd-suite] regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

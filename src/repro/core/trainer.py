@@ -32,7 +32,7 @@ from repro.nn.losses import (
     similarity_loss,
 )
 from repro.nn.optim import Adam, Optimizer
-from repro.nn.tensor import Tensor, no_grad
+from repro.nn.tensor import Tensor, no_grad, set_default_dtype
 from repro.obs.callbacks import BatchStats, TrainerCallback, global_callbacks
 from repro.obs.tracing import maybe_span
 
@@ -160,6 +160,7 @@ class _BaseTrainer:
         on_epoch_end: Optional[Callable[[int, Dict[str, float]], None]] = None,
         early_stopping: Optional[EarlyStopping] = None,
         callbacks: Optional[Sequence[TrainerCallback]] = None,
+        dtype=None,
     ) -> None:
         if epochs <= 0:
             raise ValueError(f"epochs must be positive, got {epochs}")
@@ -174,6 +175,11 @@ class _BaseTrainer:
         self.on_epoch_end = on_epoch_end
         self.early_stopping = early_stopping
         self.callbacks: List[TrainerCallback] = list(callbacks or [])
+        # Compute dtype for the whole fit: np.float32 roughly halves the
+        # memory traffic of the numpy kernels.  None keeps the engine-wide
+        # default (float64).
+        self.dtype = np.dtype(dtype) if dtype is not None else None
+        self._previous_dtype = None
         self._best_value: Optional[float] = None
         self._best_state: Optional[Dict[str, np.ndarray]] = None
         self._active_callbacks: Tuple[TrainerCallback, ...] = ()
@@ -183,7 +189,10 @@ class _BaseTrainer:
     # Telemetry plumbing
     # ------------------------------------------------------------------
     def _begin_fit(self, model) -> None:
-        """Resolve callbacks (own + globally registered) for this run."""
+        """Resolve callbacks, and enter the configured compute dtype."""
+        if self.dtype is not None:
+            self._previous_dtype = set_default_dtype(self.dtype)
+            model.to_dtype(self.dtype)
         self._active_callbacks = tuple(self.callbacks) + global_callbacks()
         self._parameter_groups = []
         if self._active_callbacks:
@@ -207,6 +216,9 @@ class _BaseTrainer:
             callback.on_train_end(history)
         self._active_callbacks = ()
         self._parameter_groups = []
+        if self._previous_dtype is not None:
+            set_default_dtype(self._previous_dtype)
+            self._previous_dtype = None
 
     @staticmethod
     def _grad_norm(parameters) -> float:
@@ -325,32 +337,34 @@ class TwoTowerTrainer(_BaseTrainer):
         label:
             Which label column carries the click target.
         """
-        optimizer = Adam(model.parameters(), lr=self.lr)
         rng = np.random.default_rng(self.seed)
         history = TrainingHistory()
         self._begin_fit(model)
-        model.train()
-        for epoch in range(self.epochs):
-            losses: List[float] = []
-            with maybe_span("train.epoch"):
-                for batch in train.iter_batches(self.batch_size, rng=rng):
-                    probabilities = model(batch.features)
-                    loss = binary_cross_entropy(probabilities, batch.label(label))
-                    value = self._step(optimizer, loss)
-                    losses.append(value)
-                    self._on_batch(optimizer, "encoder", {"loss": value})
-            record = {"loss": float(np.mean(losses))}
-            if valid is not None:
-                record["valid_auc"] = roc_auc(
-                    valid.label(label), model.predict_proba(valid.features)
-                )
-                model.train()
-            self._finish_epoch(epoch, record, history)
-            if self._check_early_stop(record, model):
-                break
-        self._maybe_restore_best(model)
-        model.eval()
-        self._end_fit(history)
+        try:
+            optimizer = Adam(model.parameters(), lr=self.lr)
+            model.train()
+            for epoch in range(self.epochs):
+                losses: List[float] = []
+                with maybe_span("train.epoch"):
+                    for batch in train.iter_batches(self.batch_size, rng=rng):
+                        probabilities = model(batch.features)
+                        loss = binary_cross_entropy(probabilities, batch.label(label))
+                        value = self._step(optimizer, loss)
+                        losses.append(value)
+                        self._on_batch(optimizer, "encoder", {"loss": value})
+                record = {"loss": float(np.mean(losses))}
+                if valid is not None:
+                    record["valid_auc"] = roc_auc(
+                        valid.label(label), model.predict_proba(valid.features)
+                    )
+                    model.train()
+                self._finish_epoch(epoch, record, history)
+                if self._check_early_stop(record, model):
+                    break
+            self._maybe_restore_best(model)
+            model.eval()
+        finally:
+            self._end_fit(history)
         return history
 
 
@@ -385,66 +399,74 @@ class ATNNTrainer(_BaseTrainer):
         (``valid_auc_encoder``) and the cold-start generator-path AUC
         (``valid_auc_generator``) are recorded each epoch.
         """
-        optimizer = Adam(model.parameters(), lr=self.lr)
         rng = np.random.default_rng(self.seed)
         history = TrainingHistory()
         self._begin_fit(model)
-        model.train()
-        for epoch in range(self.epochs):
-            losses_i: List[float] = []
-            losses_g: List[float] = []
-            losses_s: List[float] = []
-            with maybe_span("train.epoch"):
-                for batch in train.iter_batches(self.batch_size, rng=rng):
-                    targets = batch.label(label)
+        try:
+            optimizer = Adam(model.parameters(), lr=self.lr)
+            model.train()
+            for epoch in range(self.epochs):
+                losses_i: List[float] = []
+                losses_g: List[float] = []
+                losses_s: List[float] = []
+                with maybe_span("train.epoch"):
+                    for batch in train.iter_batches(self.batch_size, rng=rng):
+                        targets = batch.label(label)
 
-                    # Step 1 — optimise the encoder path on L_i.
-                    probabilities = model(batch.features)
-                    loss_i = binary_cross_entropy(probabilities, targets)
-                    value_i = self._step(optimizer, loss_i)
-                    losses_i.append(value_i)
-                    self._on_batch(optimizer, "encoder", {"loss_i": value_i})
+                        # Step 1 — optimise the encoder path on L_i.
+                        probabilities = model(batch.features)
+                        loss_i = binary_cross_entropy(probabilities, targets)
+                        value_i = self._step(optimizer, loss_i)
+                        losses_i.append(value_i)
+                        self._on_batch(optimizer, "encoder", {"loss_i": value_i})
 
-                    # Step 2 — optimise the generator path on L_g + lambda*L_s.
-                    with no_grad():
-                        encoder_targets = model.encoded_item_vectors(batch.features)
-                    generated = model.generated_item_vectors(batch.features)
-                    user_vectors = model.user_vectors(batch.features)
-                    generator_probabilities = model.scoring_head(
-                        generated, user_vectors
+                        # Step 2 — optimise the generator path on L_g + lambda*L_s.
+                        with no_grad():
+                            encoder_targets = model.encoded_item_vectors(
+                                batch.features
+                            )
+                        generated = model.generated_item_vectors(batch.features)
+                        user_vectors = model.user_vectors(batch.features)
+                        generator_probabilities = model.scoring_head(
+                            generated, user_vectors
+                        )
+                        loss_g = binary_cross_entropy(
+                            generator_probabilities, targets
+                        )
+                        loss_s = similarity_loss(
+                            generated, Tensor(encoder_targets.data)
+                        )
+                        combined = loss_g + self.lambda_similarity * loss_s
+                        self._step(optimizer, combined)
+                        losses_g.append(loss_g.item())
+                        losses_s.append(loss_s.item())
+                        self._on_batch(
+                            optimizer,
+                            "generator",
+                            {"loss_g": losses_g[-1], "loss_s": losses_s[-1]},
+                        )
+
+                record = {
+                    "loss_i": float(np.mean(losses_i)),
+                    "loss_g": float(np.mean(losses_g)),
+                    "loss_s": float(np.mean(losses_s)),
+                }
+                if valid is not None:
+                    record["valid_auc_encoder"] = roc_auc(
+                        valid.label(label), model.predict_proba(valid.features)
                     )
-                    loss_g = binary_cross_entropy(generator_probabilities, targets)
-                    loss_s = similarity_loss(generated, Tensor(encoder_targets.data))
-                    combined = loss_g + self.lambda_similarity * loss_s
-                    self._step(optimizer, combined)
-                    losses_g.append(loss_g.item())
-                    losses_s.append(loss_s.item())
-                    self._on_batch(
-                        optimizer,
-                        "generator",
-                        {"loss_g": losses_g[-1], "loss_s": losses_s[-1]},
+                    record["valid_auc_generator"] = roc_auc(
+                        valid.label(label),
+                        model.predict_proba_cold_start(valid.features),
                     )
-
-            record = {
-                "loss_i": float(np.mean(losses_i)),
-                "loss_g": float(np.mean(losses_g)),
-                "loss_s": float(np.mean(losses_s)),
-            }
-            if valid is not None:
-                record["valid_auc_encoder"] = roc_auc(
-                    valid.label(label), model.predict_proba(valid.features)
-                )
-                record["valid_auc_generator"] = roc_auc(
-                    valid.label(label),
-                    model.predict_proba_cold_start(valid.features),
-                )
-                model.train()
-            self._finish_epoch(epoch, record, history)
-            if self._check_early_stop(record, model):
-                break
-        self._maybe_restore_best(model)
-        model.eval()
-        self._end_fit(history)
+                    model.train()
+                self._finish_epoch(epoch, record, history)
+                if self._check_early_stop(record, model):
+                    break
+            self._maybe_restore_best(model)
+            model.eval()
+        finally:
+            self._end_fit(history)
         return history
 
 
@@ -503,7 +525,6 @@ class MultiTaskTrainer(_BaseTrainer):
         valid: Optional[InteractionDataset] = None,
     ) -> TrainingHistory:
         """Run Algorithm 2; records per-path losses and validation MAEs."""
-        optimizer = Adam(model.parameters(), lr=self.lr)
         rng = np.random.default_rng(self.seed)
         history = TrainingHistory()
         # Start each regression head at its label mean so early epochs fit
@@ -511,65 +532,74 @@ class MultiTaskTrainer(_BaseTrainer):
         model.gmv_head.set_output_bias(float(train.label("gmv").mean()))
         model.vppv_head.set_output_bias(float(train.label("vppv").mean()))
         self._begin_fit(model)
-        model.train()
-        for epoch in range(self.epochs):
-            losses_r: List[float] = []
-            losses_g: List[float] = []
-            losses_s: List[float] = []
-            with maybe_span("train.epoch"):
-                for batch in train.iter_batches(self.batch_size, rng=rng):
-                    gmv_targets = batch.label("gmv")
-                    vppv_targets = batch.label("vppv")
+        try:
+            optimizer = Adam(model.parameters(), lr=self.lr)
+            model.train()
+            for epoch in range(self.epochs):
+                losses_r: List[float] = []
+                losses_g: List[float] = []
+                losses_s: List[float] = []
+                with maybe_span("train.epoch"):
+                    for batch in train.iter_batches(self.batch_size, rng=rng):
+                        gmv_targets = batch.label("gmv")
+                        vppv_targets = batch.label("vppv")
 
-                    # Step 1 — encoder path: L_r^GMV + lambda_1 * L_r^VpPV.
-                    loss_r = self._task_loss(
-                        model, batch.features, gmv_targets, vppv_targets, False
-                    )
-                    value_r = self._step(optimizer, loss_r)
-                    losses_r.append(value_r)
-                    self._on_batch(optimizer, "encoder", {"loss_r": value_r})
+                        # Step 1 — encoder path: L_r^GMV + lambda_1 * L_r^VpPV.
+                        loss_r = self._task_loss(
+                            model, batch.features, gmv_targets, vppv_targets, False
+                        )
+                        value_r = self._step(optimizer, loss_r)
+                        losses_r.append(value_r)
+                        self._on_batch(optimizer, "encoder", {"loss_r": value_r})
 
-                    if not self.adversarial:
-                        continue
+                        if not self.adversarial:
+                            continue
 
-                    # Step 2 — generator path plus similarity distillation.
-                    with no_grad():
-                        encoder_targets = model.encoded_item_vectors(batch.features)
-                    generated = model.generated_item_vectors(batch.features)
-                    group_vectors = model.group_vectors(batch.features)
-                    gmv_prediction = model.gmv_head(generated, group_vectors)
-                    vppv_prediction = model.vppv_head(generated, group_vectors)
-                    loss_g = mean_squared_error(
-                        gmv_prediction, gmv_targets
-                    ) + self.lambda_vppv * mean_squared_error(
-                        vppv_prediction, vppv_targets
-                    )
-                    loss_s = similarity_loss(generated, Tensor(encoder_targets.data))
-                    combined = loss_g + self.lambda_similarity * loss_s
-                    self._step(optimizer, combined)
-                    losses_g.append(loss_g.item())
-                    losses_s.append(loss_s.item())
-                    self._on_batch(
-                        optimizer,
-                        "generator",
-                        {"loss_g": losses_g[-1], "loss_s": losses_s[-1]},
-                    )
+                        # Step 2 — generator path plus similarity distillation.
+                        with no_grad():
+                            encoder_targets = model.encoded_item_vectors(
+                                batch.features
+                            )
+                        generated = model.generated_item_vectors(batch.features)
+                        group_vectors = model.group_vectors(batch.features)
+                        gmv_prediction = model.gmv_head(generated, group_vectors)
+                        vppv_prediction = model.vppv_head(generated, group_vectors)
+                        loss_g = mean_squared_error(
+                            gmv_prediction, gmv_targets
+                        ) + self.lambda_vppv * mean_squared_error(
+                            vppv_prediction, vppv_targets
+                        )
+                        loss_s = similarity_loss(
+                            generated, Tensor(encoder_targets.data)
+                        )
+                        combined = loss_g + self.lambda_similarity * loss_s
+                        self._step(optimizer, combined)
+                        losses_g.append(loss_g.item())
+                        losses_s.append(loss_s.item())
+                        self._on_batch(
+                            optimizer,
+                            "generator",
+                            {"loss_g": losses_g[-1], "loss_s": losses_s[-1]},
+                        )
 
-            record: Dict[str, float] = {"loss_r": float(np.mean(losses_r))}
-            if losses_g:
-                record["loss_g"] = float(np.mean(losses_g))
-                record["loss_s"] = float(np.mean(losses_s))
-            if valid is not None:
-                for task in MultiTaskATNN.TASKS:
-                    cold = self.adversarial
-                    predictions = model.predict(valid.features, task, cold_start=cold)
-                    errors = np.abs(predictions - valid.label(task))
-                    record[f"valid_mae_{task}"] = float(errors.mean())
-                model.train()
-            self._finish_epoch(epoch, record, history)
-            if self._check_early_stop(record, model):
-                break
-        self._maybe_restore_best(model)
-        model.eval()
-        self._end_fit(history)
+                record: Dict[str, float] = {"loss_r": float(np.mean(losses_r))}
+                if losses_g:
+                    record["loss_g"] = float(np.mean(losses_g))
+                    record["loss_s"] = float(np.mean(losses_s))
+                if valid is not None:
+                    for task in MultiTaskATNN.TASKS:
+                        cold = self.adversarial
+                        predictions = model.predict(
+                            valid.features, task, cold_start=cold
+                        )
+                        errors = np.abs(predictions - valid.label(task))
+                        record[f"valid_mae_{task}"] = float(errors.mean())
+                    model.train()
+                self._finish_epoch(epoch, record, history)
+                if self._check_early_stop(record, model):
+                    break
+            self._maybe_restore_best(model)
+            model.eval()
+        finally:
+            self._end_fit(history)
         return history

@@ -177,6 +177,11 @@ class InteractionDataset:
     ) -> Iterator[Batch]:
         """Yield mini-batches, shuffling when an ``rng`` is provided.
 
+        Every column is gathered into shuffled order *once* per epoch, and
+        each batch is a contiguous slice view of that copy — one fancy
+        gather per column per epoch instead of one per column per batch,
+        which dominates per-step time for small models.
+
         Parameters
         ----------
         batch_size:
@@ -188,16 +193,23 @@ class InteractionDataset:
         """
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
-        order = np.arange(len(self))
+        n = len(self)
+        order = np.arange(n)
         if rng is not None:
             rng.shuffle(order)
-        for start in range(0, len(order), batch_size):
-            index = order[start : start + batch_size]
-            if drop_last and index.size < batch_size:
+            features = {name: col[order] for name, col in self.table.columns.items()}
+            labels = {name: col[order] for name, col in self.labels.items()}
+        else:
+            # Unshuffled epochs slice the stored columns directly.
+            features = self.table.columns
+            labels = self.labels
+        for start in range(0, n, batch_size):
+            stop = start + batch_size
+            if drop_last and stop > n:
                 break
             yield Batch(
-                {name: col[index] for name, col in self.table.columns.items()},
-                {name: col[index] for name, col in self.labels.items()},
+                {name: col[start:stop] for name, col in features.items()},
+                {name: col[start:stop] for name, col in labels.items()},
             )
 
     def feature_matrix(self, groups: Sequence[str]) -> np.ndarray:

@@ -7,7 +7,18 @@ ATNN paper without an external deep-learning framework.
 from repro.nn import init, layers, losses, optim
 from repro.nn.gradcheck import check_gradients, numerical_gradient
 from repro.nn.module import Module, ModuleList, Parameter
-from repro.nn.tensor import Tensor, concat, embedding_lookup, is_grad_enabled, no_grad, stack
+from repro.nn.sparse import SparseGrad, sparse_grads_enabled, use_sparse_grads
+from repro.nn.tensor import (
+    Tensor,
+    concat,
+    default_dtype,
+    embedding_lookup,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
+    set_default_dtype,
+    stack,
+)
 
 __all__ = [
     "init",
@@ -19,10 +30,16 @@ __all__ = [
     "Module",
     "ModuleList",
     "Parameter",
+    "SparseGrad",
+    "sparse_grads_enabled",
+    "use_sparse_grads",
     "Tensor",
     "concat",
+    "default_dtype",
     "embedding_lookup",
+    "get_default_dtype",
     "is_grad_enabled",
     "no_grad",
+    "set_default_dtype",
     "stack",
 ]

@@ -6,10 +6,11 @@ differences; also a handy debugging tool when extending the engine.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.nn.sparse import SparseGrad
 from repro.nn.tensor import Tensor
 
 __all__ = ["numerical_gradient", "check_gradients"]
@@ -43,17 +44,31 @@ def numerical_gradient(
 def check_gradients(
     fn: Callable[[], Tensor],
     tensors: Sequence[Tensor],
-    epsilon: float = 1e-6,
-    rtol: float = 1e-4,
-    atol: float = 1e-6,
+    epsilon: Optional[float] = None,
+    rtol: Optional[float] = None,
+    atol: Optional[float] = None,
 ) -> None:
     """Assert analytic gradients match finite differences for ``tensors``.
+
+    Tolerances and the finite-difference step default by dtype: the
+    classic ``epsilon=1e-6, rtol=1e-4, atol=1e-6`` for float64, and a
+    coarser ``epsilon=1e-3, rtol=1e-2, atol=1e-3`` when any checked
+    tensor is float32 (central differences lose roughly half the
+    mantissa to cancellation).  Row-sparse analytic gradients are
+    densified before comparison.
 
     Raises
     ------
     AssertionError
         With a detailed report when any gradient disagrees.
     """
+    float32 = any(t.data.dtype == np.float32 for t in tensors)
+    if epsilon is None:
+        epsilon = 1e-3 if float32 else 1e-6
+    if rtol is None:
+        rtol = 1e-2 if float32 else 1e-4
+    if atol is None:
+        atol = 1e-3 if float32 else 1e-6
     for tensor in tensors:
         tensor.zero_grad()
     output = fn()
@@ -64,6 +79,8 @@ def check_gradients(
         if not tensor.requires_grad:
             raise ValueError(f"tensor #{position} does not require grad")
         analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        if isinstance(analytic, SparseGrad):
+            analytic = analytic.to_dense()
         numeric = numerical_gradient(fn, tensor, epsilon=epsilon)
         if not np.allclose(analytic, numeric, rtol=rtol, atol=atol):
             worst = np.max(np.abs(analytic - numeric))

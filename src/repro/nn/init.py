@@ -1,12 +1,16 @@
 """Weight initialisation schemes.
 
 All initialisers take an explicit ``numpy.random.Generator`` so that every
-model in the reproduction is fully deterministic under a seed.
+model in the reproduction is fully deterministic under a seed.  Every
+initialiser accepts an optional ``dtype``; when omitted, the engine-wide
+default from :func:`repro.nn.tensor.get_default_dtype` applies.  Random
+draws always happen in float64 and are cast afterwards, so a seed yields
+the same weights (up to rounding) in every precision.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -22,6 +26,13 @@ __all__ = [
 ]
 
 
+def _cast(values: np.ndarray, dtype: Optional[np.dtype]) -> np.ndarray:
+    from repro.nn.tensor import get_default_dtype
+
+    target = np.dtype(dtype) if dtype is not None else get_default_dtype()
+    return values.astype(target, copy=False)
+
+
 def _fan(shape: Tuple[int, ...]) -> Tuple[int, int]:
     """Return ``(fan_in, fan_out)`` for a weight shape."""
     if len(shape) < 1:
@@ -32,50 +43,54 @@ def _fan(shape: Tuple[int, ...]) -> Tuple[int, int]:
     return shape[0] * receptive, shape[1] * receptive
 
 
-def xavier_uniform(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+def xavier_uniform(rng: np.random.Generator, shape: Tuple[int, ...],
+                   dtype=None) -> np.ndarray:
     """Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
     fan_in, fan_out = _fan(shape)
     bound = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return _cast(rng.uniform(-bound, bound, size=shape), dtype)
 
 
-def xavier_normal(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+def xavier_normal(rng: np.random.Generator, shape: Tuple[int, ...],
+                  dtype=None) -> np.ndarray:
     """Glorot/Xavier normal: N(0, 2 / (fan_in + fan_out))."""
     fan_in, fan_out = _fan(shape)
     std = np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return _cast(rng.normal(0.0, std, size=shape), dtype)
 
 
-def he_uniform(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+def he_uniform(rng: np.random.Generator, shape: Tuple[int, ...],
+               dtype=None) -> np.ndarray:
     """He uniform, appropriate ahead of ReLU activations."""
     fan_in, _ = _fan(shape)
     bound = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape)
+    return _cast(rng.uniform(-bound, bound, size=shape), dtype)
 
 
-def he_normal(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+def he_normal(rng: np.random.Generator, shape: Tuple[int, ...],
+              dtype=None) -> np.ndarray:
     """He normal: N(0, 2 / fan_in)."""
     fan_in, _ = _fan(shape)
-    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+    return _cast(rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape), dtype)
 
 
 def uniform(rng: np.random.Generator, shape: Tuple[int, ...],
-            low: float = -0.05, high: float = 0.05) -> np.ndarray:
+            low: float = -0.05, high: float = 0.05, dtype=None) -> np.ndarray:
     """Plain uniform initialisation in ``[low, high)``."""
-    return rng.uniform(low, high, size=shape)
+    return _cast(rng.uniform(low, high, size=shape), dtype)
 
 
 def normal(rng: np.random.Generator, shape: Tuple[int, ...],
-           mean: float = 0.0, std: float = 0.01) -> np.ndarray:
+           mean: float = 0.0, std: float = 0.01, dtype=None) -> np.ndarray:
     """Plain normal initialisation."""
-    return rng.normal(mean, std, size=shape)
+    return _cast(rng.normal(mean, std, size=shape), dtype)
 
 
-def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+def zeros(shape: Tuple[int, ...], dtype=None) -> np.ndarray:
     """All-zero initialisation (biases)."""
-    return np.zeros(shape)
+    return _cast(np.zeros(shape), dtype)
 
 
-def ones(shape: Tuple[int, ...]) -> np.ndarray:
+def ones(shape: Tuple[int, ...], dtype=None) -> np.ndarray:
     """All-one initialisation (normalisation gains)."""
-    return np.ones(shape)
+    return _cast(np.ones(shape), dtype)

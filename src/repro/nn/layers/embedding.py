@@ -89,7 +89,7 @@ class EmbeddingBag(Module):
             Float/bool array of the same shape; 1 marks a valid id.
         """
         indices = np.asarray(indices)
-        mask = np.asarray(mask, dtype=np.float64)
+        mask = np.asarray(mask, dtype=self.embedding.weight.data.dtype)
         if indices.shape != mask.shape:
             raise ValueError(
                 f"indices shape {indices.shape} and mask shape {mask.shape} differ"

@@ -30,6 +30,13 @@ __all__ = [
 ]
 
 _EPS = 1e-12
+# float32 cannot represent 1 - 1e-12 (it rounds to 1.0, sending log(1-p) to
+# -inf), so the probability clip must be wider in single precision.
+_EPS_F32 = 1e-7
+
+
+def _clip_eps(dtype: np.dtype) -> float:
+    return _EPS_F32 if np.dtype(dtype) == np.float32 else _EPS
 
 
 def binary_cross_entropy(predictions: Tensor, targets: np.ndarray) -> Tensor:
@@ -39,8 +46,11 @@ def binary_cross_entropy(predictions: Tensor, targets: np.ndarray) -> Tensor:
 
         L = -(1/N) * sum(y * log(p) + (1 - y) * log(1 - p))
     """
-    targets = np.asarray(targets, dtype=np.float64).reshape(predictions.shape)
-    clipped = predictions.clip(_EPS, 1.0 - _EPS)
+    targets = np.asarray(targets, dtype=predictions.data.dtype).reshape(
+        predictions.shape
+    )
+    eps = _clip_eps(predictions.data.dtype)
+    clipped = predictions.clip(eps, 1.0 - eps)
     y = Tensor(targets)
     loss = -(y * clipped.log() + (1.0 - y) * (1.0 - clipped).log())
     return loss.mean()
@@ -52,7 +62,7 @@ def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Ten
     Uses ``max(z, 0) - z*y + log(1 + exp(-|z|))`` which avoids overflow for
     large-magnitude logits.
     """
-    targets = np.asarray(targets, dtype=np.float64).reshape(logits.shape)
+    targets = np.asarray(targets, dtype=logits.data.dtype).reshape(logits.shape)
     y = Tensor(targets)
     positive_part = logits.relu()
     loss = positive_part - logits * y + (1.0 + (-logits.abs()).exp()).log()
@@ -61,14 +71,18 @@ def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Ten
 
 def mean_squared_error(predictions: Tensor, targets: np.ndarray) -> Tensor:
     """Mean squared error — the multi-task GMV / VpPV training loss."""
-    targets = np.asarray(targets, dtype=np.float64).reshape(predictions.shape)
+    targets = np.asarray(targets, dtype=predictions.data.dtype).reshape(
+        predictions.shape
+    )
     diff = predictions - Tensor(targets)
     return (diff * diff).mean()
 
 
 def mean_absolute_error(predictions: Tensor, targets: np.ndarray) -> Tensor:
     """Mean absolute error (the paper's offline evaluation metric)."""
-    targets = np.asarray(targets, dtype=np.float64).reshape(predictions.shape)
+    targets = np.asarray(targets, dtype=predictions.data.dtype).reshape(
+        predictions.shape
+    )
     return (predictions - Tensor(targets)).abs().mean()
 
 
@@ -119,7 +133,7 @@ def in_batch_softmax_loss(
         raise ValueError(f"temperature must be positive, got {temperature}")
     scores = (user_vectors @ item_vectors.T) * (1.0 / temperature)
     if log_sampling_prob is not None:
-        correction = np.asarray(log_sampling_prob, dtype=np.float64)
+        correction = np.asarray(log_sampling_prob, dtype=user_vectors.data.dtype)
         if correction.shape != (user_vectors.shape[0],):
             raise ValueError(
                 f"log_sampling_prob must have shape ({user_vectors.shape[0]},), "

@@ -84,6 +84,20 @@ class Module:
         for param in self.parameters():
             param.zero_grad()
 
+    def to_dtype(self, dtype) -> "Module":
+        """Cast every parameter to ``dtype`` in place.
+
+        Gradients are cleared (they would otherwise be stale in the old
+        dtype).  Used by the trainers' float32 mode; returns ``self`` for
+        chaining.
+        """
+        dtype = np.dtype(dtype)
+        for param in self.parameters():
+            if param.data.dtype != dtype:
+                param.data = param.data.astype(dtype)
+            param.grad = None
+        return self
+
     # ------------------------------------------------------------------
     # Mode switching
     # ------------------------------------------------------------------

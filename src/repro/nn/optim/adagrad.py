@@ -8,12 +8,18 @@ import numpy as np
 
 from repro.nn.module import Parameter
 from repro.nn.optim.optimizer import Optimizer
+from repro.nn.sparse import SparseGrad
 
 __all__ = ["AdaGrad"]
 
 
 class AdaGrad(Optimizer):
-    """Per-coordinate learning rates from accumulated squared gradients."""
+    """Per-coordinate learning rates from accumulated squared gradients.
+
+    Row-sparse gradients take a lazy row-wise path that is *exactly*
+    equivalent to the dense update: AdaGrad has no decay, so rows with zero
+    gradient leave both the accumulator and the weights untouched.
+    """
 
     def __init__(
         self,
@@ -34,10 +40,32 @@ class AdaGrad(Optimizer):
     _STATE_BUFFERS = ("_accumulator",)
 
     def _update(self, param: Parameter) -> None:
+        if isinstance(param.grad, SparseGrad):
+            self._update_sparse(param, param.grad)
+            return
         key = id(param)
         acc = self._accumulator.get(key)
         if acc is None:
-            acc = np.full_like(param.data, self.initial_accumulator)
-        acc = acc + param.grad * param.grad
-        self._accumulator[key] = acc
-        param.data -= self.lr * param.grad / (np.sqrt(acc) + self.eps)
+            acc = self._accumulator[key] = np.full_like(
+                param.data, self.initial_accumulator
+            )
+        grad = param.grad
+        acc += grad * grad
+        param.data -= self.lr * grad / (np.sqrt(acc) + self.eps)
+
+    def _update_sparse(self, param: Parameter, grad: SparseGrad) -> None:
+        """Row-wise lazy update — exactly matches the dense step."""
+        compacted = grad.compact()
+        idx, rows = compacted.indices, compacted.rows
+        if idx.size == 0:
+            return
+        key = id(param)
+        acc = self._accumulator.get(key)
+        if acc is None:
+            acc = self._accumulator[key] = np.full_like(
+                param.data, self.initial_accumulator
+            )
+        acc_rows = acc[idx]  # fancy indexing copies
+        acc_rows += rows * rows
+        acc[idx] = acc_rows
+        param.data[idx] -= self.lr * rows / (np.sqrt(acc_rows) + self.eps)

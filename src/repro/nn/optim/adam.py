@@ -8,12 +8,25 @@ import numpy as np
 
 from repro.nn.module import Parameter
 from repro.nn.optim.optimizer import Optimizer
+from repro.nn.sparse import SparseGrad
 
 __all__ = ["Adam"]
 
 
 class Adam(Optimizer):
     """Adaptive moment estimation — the workhorse optimizer of the repo.
+
+    Parameters with row-sparse gradients (embedding tables) receive *lazy*
+    updates: first/second moments and weights are updated only on the rows
+    the batch touched, with bias correction driven by the per-parameter
+    step counter.  This matches the dense update exactly for rows whose
+    gradient was zero in every step so far (their moments are zero), and
+    for rows touched on every step.  A row touched at step ``s`` and then
+    skipped diverges from dense Adam, which would keep decaying its
+    momentum and applying residual updates; lazy Adam freezes it instead —
+    the standard trade-off (cf. TensorFlow's ``LazyAdam``) that makes
+    large-vocabulary training tractable.  With ``weight_decay > 0`` the
+    decay is likewise applied only to touched rows.
 
     Parameters
     ----------
@@ -51,23 +64,56 @@ class Adam(Optimizer):
 
     _STATE_BUFFERS = ("_m", "_v", "_t")
 
-    def _update(self, param: Parameter) -> None:
-        grad = param.grad
-        if self.weight_decay:
-            grad = grad + self.weight_decay * param.data
+    def _init_state(self, param: Parameter) -> None:
         key = id(param)
-        m = self._m.get(key)
-        if m is None:
-            m = np.zeros_like(param.data)
+        if key not in self._m:
+            self._m[key] = np.zeros_like(param.data)
             self._v[key] = np.zeros_like(param.data)
             self._t[key] = 0
+
+    def _update(self, param: Parameter) -> None:
+        if isinstance(param.grad, SparseGrad):
+            self._update_sparse(param, param.grad)
+            return
+        grad = self._decayed_grad(param, self.weight_decay)
+        key = id(param)
+        self._init_state(param)
+        m = self._m[key]
         v = self._v[key]
         self._t[key] += 1
         t = self._t[key]
-        m = self.beta1 * m + (1 - self.beta1) * grad
-        v = self.beta2 * v + (1 - self.beta2) * grad * grad
-        self._m[key] = m
-        self._v[key] = v
+        # In-place moment updates: the dense sweep is bandwidth-bound, so
+        # avoiding four full-size temporaries per parameter matters.
+        m *= self.beta1
+        m += (1 - self.beta1) * grad
+        v *= self.beta2
+        v += (1 - self.beta2) * (grad * grad)
         m_hat = m / (1 - self.beta1 ** t)
         v_hat = v / (1 - self.beta2 ** t)
         param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _update_sparse(self, param: Parameter, grad: SparseGrad) -> None:
+        """Lazy Adam: moments and weights advance only on touched rows."""
+        compacted = grad.compact()
+        idx, rows = compacted.indices, compacted.rows
+        if idx.size == 0:
+            return
+        if self.weight_decay:
+            rows = rows + self.weight_decay * param.data[idx]
+        key = id(param)
+        self._init_state(param)
+        self._t[key] += 1
+        t = self._t[key]
+        m = self._m[key]
+        v = self._v[key]
+        m_rows = m[idx]  # fancy indexing copies
+        m_rows *= self.beta1
+        m_rows += (1 - self.beta1) * rows
+        m[idx] = m_rows
+        v_rows = v[idx]
+        v_rows *= self.beta2
+        v_rows += (1 - self.beta2) * (rows * rows)
+        v[idx] = v_rows
+        m_hat = m_rows / (1 - self.beta1 ** t)
+        v_hat = v_rows / (1 - self.beta2 ** t)
+        param.data[idx] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

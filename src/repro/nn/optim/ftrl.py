@@ -14,12 +14,21 @@ import numpy as np
 
 from repro.nn.module import Parameter
 from repro.nn.optim.optimizer import Optimizer
+from repro.nn.sparse import SparseGrad
 
 __all__ = ["FTRL"]
 
 
 class FTRL(Optimizer):
     """FTRL-Proximal with L1-induced sparsity.
+
+    Row-sparse gradients update ``z``/``n`` and re-solve the proximal step
+    only on the touched rows, which matches the dense update exactly for
+    every row that has ever been touched (zero-gradient rows leave ``z``
+    and ``n`` unchanged).  The one divergence: dense FTRL's closed-form
+    assignment rewrites *never-touched* rows to the proximal solution of
+    ``z = 0`` (i.e. zero), whereas the lazy path leaves their
+    initialization in place until they are first touched.
 
     Parameters
     ----------
@@ -55,6 +64,9 @@ class FTRL(Optimizer):
     _STATE_BUFFERS = ("_z", "_n")
 
     def _update(self, param: Parameter) -> None:
+        if isinstance(param.grad, SparseGrad):
+            self._update_sparse(param, param.grad)
+            return
         key = id(param)
         z = self._z.get(key)
         if z is None:
@@ -72,4 +84,30 @@ class FTRL(Optimizer):
         denominator = (self.beta + np.sqrt(n)) / self.lr + self.l2
         param.data[...] = np.where(
             mask, -(z - np.sign(z) * self.l1) / denominator, 0.0
+        )
+
+    def _update_sparse(self, param: Parameter, grad: SparseGrad) -> None:
+        """Lazy FTRL: z/n and the proximal step advance on touched rows only."""
+        compacted = grad.compact()
+        idx, rows = compacted.indices, compacted.rows
+        if idx.size == 0:
+            return
+        key = id(param)
+        z = self._z.get(key)
+        if z is None:
+            z = self._z[key] = np.zeros_like(param.data)
+            self._n[key] = np.zeros_like(param.data)
+        n = self._n[key]
+        n_rows = n[idx]  # fancy indexing copies
+        w_rows = param.data[idx]
+        sigma = (np.sqrt(n_rows + rows * rows) - np.sqrt(n_rows)) / self.lr
+        z_rows = z[idx]
+        z_rows += rows - sigma * w_rows
+        z[idx] = z_rows
+        n_rows += rows * rows
+        n[idx] = n_rows
+        mask = np.abs(z_rows) > self.l1
+        denominator = (self.beta + np.sqrt(n_rows)) / self.lr + self.l2
+        param.data[idx] = np.where(
+            mask, -(z_rows - np.sign(z_rows) * self.l1) / denominator, 0.0
         )

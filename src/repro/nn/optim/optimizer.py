@@ -7,6 +7,7 @@ from typing import Any, Dict, Iterable, List
 import numpy as np
 
 from repro.nn.module import Parameter
+from repro.nn.sparse import SparseGrad
 
 __all__ = ["Optimizer"]
 
@@ -34,6 +35,9 @@ class Optimizer:
             raise ValueError("optimizer received no parameters")
         self.lr = lr
         self.step_count = 0
+        # Reused scratch for weight decay (see _decayed_grad); deliberately
+        # not part of the serialisable state.
+        self._wd_buffers: Dict[int, np.ndarray] = {}
 
     def zero_grad(self) -> None:
         """Clear gradients on every managed parameter."""
@@ -50,6 +54,29 @@ class Optimizer:
 
     def _update(self, param: Parameter) -> None:
         raise NotImplementedError
+
+    def _decayed_grad(self, param: Parameter, weight_decay: float) -> np.ndarray:
+        """``param.grad + weight_decay * param.data`` without fresh allocations.
+
+        Returns ``param.grad`` untouched when ``weight_decay`` is zero;
+        otherwise writes into a per-parameter scratch buffer that is reused
+        across steps (the naive expression allocates two full-size
+        temporaries per parameter per step).
+        """
+        grad = param.grad
+        if not weight_decay:
+            return grad
+        key = id(param)
+        buffer = self._wd_buffers.get(key)
+        if (
+            buffer is None
+            or buffer.shape != param.data.shape
+            or buffer.dtype != param.data.dtype
+        ):
+            buffer = self._wd_buffers[key] = np.empty_like(param.data)
+        np.multiply(param.data, weight_decay, out=buffer)
+        buffer += grad
+        return buffer
 
     # ------------------------------------------------------------------
     # State (de)serialization for resumable training
@@ -118,10 +145,20 @@ class Optimizer:
         """Scale gradients so their global L2 norm is at most ``max_norm``.
 
         Returns the pre-clipping norm, useful for monitoring training
-        stability of the adversarial game.
+        stability of the adversarial game.  Row-sparse gradients contribute
+        only their touched rows to the norm and are scaled in place without
+        densifying.
         """
         params = [p for p in parameters if p.grad is not None]
-        total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+        total = 0.0
+        for p in params:
+            grad = p.grad
+            if isinstance(grad, SparseGrad):
+                rows = grad.compact().rows
+                total += float(np.einsum("ij,ij->", rows, rows))
+            else:
+                total += float((grad ** 2).sum())
+        total = float(np.sqrt(total))
         if total > max_norm and total > 0:
             scale = max_norm / total
             for param in params:

@@ -8,12 +8,20 @@ import numpy as np
 
 from repro.nn.module import Parameter
 from repro.nn.optim.optimizer import Optimizer
+from repro.nn.sparse import SparseGrad
 
 __all__ = ["SGD"]
 
 
 class SGD(Optimizer):
     """Vanilla / momentum SGD.
+
+    When a parameter carries a row-sparse gradient (embedding tables), the
+    update is applied lazily to the touched rows only.  Without momentum or
+    weight decay this matches the dense update exactly (untouched rows have
+    zero gradient).  With momentum, the velocity of untouched rows is
+    *frozen* rather than decayed — the standard lazy-momentum semantics;
+    with weight decay, decay is applied only to touched rows.
 
     Parameters
     ----------
@@ -50,14 +58,34 @@ class SGD(Optimizer):
     _STATE_BUFFERS = ("_velocity",)
 
     def _update(self, param: Parameter) -> None:
-        grad = param.grad
-        if self.weight_decay:
-            grad = grad + self.weight_decay * param.data
+        if isinstance(param.grad, SparseGrad):
+            self._update_sparse(param, param.grad)
+            return
+        grad = self._decayed_grad(param, self.weight_decay)
         if self.momentum:
             velocity = self._velocity.get(id(param))
             if velocity is None:
-                velocity = np.zeros_like(param.data)
-            velocity = self.momentum * velocity + grad
-            self._velocity[id(param)] = velocity
+                velocity = self._velocity[id(param)] = np.zeros_like(param.data)
+            velocity *= self.momentum
+            velocity += grad
             grad = grad + self.momentum * velocity if self.nesterov else velocity
         param.data -= self.lr * grad
+
+    def _update_sparse(self, param: Parameter, grad: SparseGrad) -> None:
+        """Row-wise lazy update on the touched rows only."""
+        compacted = grad.compact()
+        idx, rows = compacted.indices, compacted.rows
+        if idx.size == 0:
+            return
+        if self.weight_decay:
+            rows = rows + self.weight_decay * param.data[idx]
+        if self.momentum:
+            velocity = self._velocity.get(id(param))
+            if velocity is None:
+                velocity = self._velocity[id(param)] = np.zeros_like(param.data)
+            v_rows = velocity[idx]  # fancy indexing copies
+            v_rows *= self.momentum
+            v_rows += rows
+            velocity[idx] = v_rows
+            rows = rows + self.momentum * v_rows if self.nesterov else v_rows
+        param.data[idx] -= self.lr * rows

@@ -1,0 +1,275 @@
+"""Row-sparse gradients for embedding tables.
+
+A training batch of a few hundred rows touches a tiny fraction of an
+industrial id vocabulary, yet a dense backward pass materialises (and the
+optimizers then sweep) the full ``num_embeddings x dim`` table on every
+step.  :class:`SparseGrad` is the engine's answer: a ``(indices, rows)``
+pair standing in for a mostly-zero dense gradient.  The embedding lookup
+backward emits one, :meth:`Tensor.backward` knows how to merge them with
+each other and with dense gradients, and the optimizers apply row-wise
+lazy updates when they see one (see ``docs/performance.md``).
+
+Deduplication of repeated ids uses an argsort + segment-sum
+(``np.add.reduceat`` over run boundaries) rather than ``np.add.at``; the
+scatter-add ufunc is an order of magnitude slower because it cannot
+vectorise potentially-colliding updates.
+
+The representation intentionally behaves like an ndarray where the rest of
+the codebase (gradient clipping, norm telemetry, tests) expects one:
+
+* ``numpy`` conversion via ``__array__`` (densify),
+* scalar ``*``, ``*=``, ``**``, ``abs`` and ``sum()`` stay sparse,
+* ``sparse + dense`` densifies, ``sparse + sparse`` stays sparse.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SparseGrad",
+    "sparse_grads_enabled",
+    "use_sparse_grads",
+]
+
+# Global switch consulted by ``embedding_lookup``'s backward.  Kept here so
+# benchmarks and tests can measure the dense legacy path against the sparse
+# fast path inside one process.
+_SPARSE_GRADS_ENABLED = True
+
+
+def sparse_grads_enabled() -> bool:
+    """Whether embedding backwards emit :class:`SparseGrad` (the default)."""
+    return _SPARSE_GRADS_ENABLED
+
+
+class use_sparse_grads:
+    """Context manager toggling the sparse embedding-gradient fast path.
+
+    >>> with use_sparse_grads(False):
+    ...     ...  # embedding backwards materialise dense tables (legacy)
+    """
+
+    def __init__(self, enabled: bool) -> None:
+        self._enabled = bool(enabled)
+
+    def __enter__(self) -> "use_sparse_grads":
+        global _SPARSE_GRADS_ENABLED
+        self._previous = _SPARSE_GRADS_ENABLED
+        _SPARSE_GRADS_ENABLED = self._enabled
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        global _SPARSE_GRADS_ENABLED
+        _SPARSE_GRADS_ENABLED = self._previous
+
+
+class SparseGrad:
+    """A row-sparse gradient of a 2-D parameter.
+
+    Parameters
+    ----------
+    shape:
+        Shape of the dense parameter the gradient belongs to.
+    indices:
+        1-D integer array of row ids; may contain repeats until
+        :meth:`compact` is called.
+    rows:
+        ``(len(indices), shape[1])`` float array of per-row gradients.
+    compacted:
+        True when ``indices`` is already sorted and duplicate-free.
+    """
+
+    __slots__ = ("shape", "indices", "rows", "compacted")
+
+    def __init__(
+        self,
+        shape: Tuple[int, ...],
+        indices: np.ndarray,
+        rows: np.ndarray,
+        compacted: bool = False,
+    ) -> None:
+        if len(shape) != 2:
+            raise ValueError(f"SparseGrad targets 2-D parameters, got shape {shape}")
+        indices = np.asarray(indices)
+        rows = np.asarray(rows)
+        if indices.ndim != 1:
+            raise ValueError(f"indices must be 1-D, got shape {indices.shape}")
+        if rows.shape != (indices.size, shape[1]):
+            raise ValueError(
+                f"rows must have shape ({indices.size}, {shape[1]}), got {rows.shape}"
+            )
+        self.shape = tuple(shape)
+        self.indices = indices
+        self.rows = rows
+        self.compacted = bool(compacted)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        indices: np.ndarray,
+        rows: np.ndarray,
+        shape: Tuple[int, ...],
+        dedup: bool = True,
+    ) -> "SparseGrad":
+        """Build a gradient from (possibly repeated) row updates.
+
+        With ``dedup`` (the default) repeated ids are summed immediately via
+        the sort/segment-sum kernel, so consumers see unique rows.
+        """
+        grad = cls(shape, np.asarray(indices).reshape(-1), rows, compacted=False)
+        return grad.compact() if dedup else grad
+
+    def compact(self) -> "SparseGrad":
+        """Sum duplicate row ids in place; idempotent and returns ``self``.
+
+        Sorts the ids and segment-sums runs of equal ids with
+        ``np.add.reduceat`` — the dedup the optimizers rely on before
+        indexed reads/writes (``acc[idx] += ...`` is only correct for
+        unique ``idx``).
+        """
+        if self.compacted:
+            return self
+        if self.indices.size == 0:
+            self.compacted = True
+            return self
+        order = np.argsort(self.indices, kind="stable")
+        sorted_indices = self.indices[order]
+        is_run_start = np.empty(sorted_indices.size, dtype=bool)
+        is_run_start[0] = True
+        np.not_equal(sorted_indices[1:], sorted_indices[:-1], out=is_run_start[1:])
+        boundaries = np.flatnonzero(is_run_start)
+        self.indices = sorted_indices[boundaries]
+        self.rows = np.add.reduceat(self.rows[order], boundaries, axis=0)
+        self.compacted = True
+        return self
+
+    def copy(self) -> "SparseGrad":
+        """Deep copy (own buffers)."""
+        return SparseGrad(
+            self.shape, self.indices.copy(), self.rows.copy(), self.compacted
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def dtype(self):
+        return self.rows.dtype
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape))
+
+    @property
+    def nnz_rows(self) -> int:
+        """Number of distinct rows carrying gradient."""
+        return int(self.compact().indices.size)
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseGrad(shape={self.shape}, rows={self.indices.size}, "
+            f"compacted={self.compacted})"
+        )
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def to_dense(self, dtype=None) -> np.ndarray:
+        """Materialise the dense gradient table."""
+        compacted = self.compact()
+        dense = np.zeros(self.shape, dtype=dtype or self.rows.dtype)
+        if compacted.indices.size:
+            dense[compacted.indices] = compacted.rows
+        return dense
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        # Lets numpy consumers (``np.asarray``, ``assert_allclose``, ufuncs
+        # on mixed operands) transparently densify.
+        return self.to_dense(dtype=dtype)
+
+    def add_into(self, dense: np.ndarray) -> np.ndarray:
+        """Scatter-add this gradient into ``dense`` in place."""
+        if dense.shape != self.shape:
+            raise ValueError(f"shape mismatch: {dense.shape} vs {self.shape}")
+        compacted = self.compact()
+        if compacted.indices.size:
+            dense[compacted.indices] += compacted.rows
+        return dense
+
+    # ------------------------------------------------------------------
+    # Arithmetic (sparse-preserving where possible)
+    # ------------------------------------------------------------------
+    def merge(self, other: "SparseGrad") -> "SparseGrad":
+        """Sum of two sparse gradients; stays sparse, defers dedup."""
+        if other.shape != self.shape:
+            raise ValueError(f"shape mismatch: {other.shape} vs {self.shape}")
+        if self.indices.size == 0:
+            return other.copy()
+        if other.indices.size == 0:
+            return self.copy()
+        return SparseGrad(
+            self.shape,
+            np.concatenate([self.indices, other.indices]),
+            np.concatenate([self.rows, other.rows]),
+            compacted=False,
+        )
+
+    def __add__(self, other):
+        if isinstance(other, SparseGrad):
+            return self.merge(other)
+        other = np.asarray(other)
+        result = np.array(other, dtype=np.result_type(other, self.rows), copy=True)
+        return self.add_into(result)
+
+    __radd__ = __add__
+
+    def __mul__(self, scalar):
+        scalar = self._require_scalar(scalar, "*")
+        return SparseGrad(self.shape, self.indices, self.rows * scalar, self.compacted)
+
+    __rmul__ = __mul__
+
+    def __imul__(self, scalar):
+        scalar = self._require_scalar(scalar, "*=")
+        self.rows *= scalar
+        return self
+
+    def __neg__(self):
+        return SparseGrad(self.shape, self.indices, -self.rows, self.compacted)
+
+    def __pow__(self, exponent):
+        exponent = self._require_scalar(exponent, "**")
+        compacted = self.compact()
+        return SparseGrad(
+            self.shape, compacted.indices, compacted.rows ** exponent, compacted=True
+        )
+
+    def __abs__(self):
+        compacted = self.compact()
+        return SparseGrad(
+            self.shape, compacted.indices, np.abs(compacted.rows), compacted=True
+        )
+
+    def sum(self) -> float:
+        """Sum over the (implicit) dense table — zeros contribute nothing."""
+        return float(self.rows.sum())
+
+    def __getitem__(self, index):
+        # Convenience for inspection/tests; materialises the dense table.
+        return self.to_dense()[index]
+
+    @staticmethod
+    def _require_scalar(value, op: str):
+        if isinstance(value, (int, float, np.floating, np.integer)):
+            return value
+        raise TypeError(f"SparseGrad only supports scalar {op}, got {type(value)!r}")

@@ -32,7 +32,16 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+from repro.nn.sparse import SparseGrad, sparse_grads_enabled
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "set_default_dtype",
+    "get_default_dtype",
+    "default_dtype",
+]
 
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
@@ -65,8 +74,59 @@ def is_grad_enabled() -> bool:
     return _GRAD_ENABLED
 
 
-def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+# Engine-wide compute dtype.  float64 is the historical default (exact
+# gradchecks); float32 halves memory traffic on every hot path and is the
+# production training mode — see ``docs/performance.md`` for the tolerance
+# implications.
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+_SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the dtype new tensors are created with; returns the previous one.
+
+    Only ``float32`` and ``float64`` are supported.  Existing tensors keep
+    their dtype — convert models with :meth:`repro.nn.Module.to_dtype`.
+    """
+    global _DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved not in _SUPPORTED_DTYPES:
+        raise ValueError(
+            f"default dtype must be float32 or float64, got {dtype!r}"
+        )
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolved
+    return previous
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype new tensors are created with."""
+    return _DEFAULT_DTYPE
+
+
+class default_dtype:
+    """Context manager scoping :func:`set_default_dtype`.
+
+    >>> with default_dtype(np.float32):
+    ...     assert Tensor([1.0]).dtype == np.float32
+    """
+
+    def __init__(self, dtype) -> None:
+        self._dtype = dtype
+
+    def __enter__(self) -> "default_dtype":
+        self._previous = set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        set_default_dtype(self._previous)
+
+
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     """Coerce ``value`` to a float numpy array without copying when possible."""
+    if dtype is None:
+        dtype = _DEFAULT_DTYPE
     if isinstance(value, np.ndarray):
         if value.dtype == dtype:
             return value
@@ -110,7 +170,15 @@ class Tensor:
         Optional human-readable label used in error messages and repr.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "name", "_backward_fn", "_parents")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "name",
+        "_backward_fn",
+        "_parents",
+        "_topo_cache",
+    )
 
     def __init__(
         self,
@@ -124,6 +192,7 @@ class Tensor:
         self.name = name
         self._backward_fn: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
+        self._topo_cache: Optional[List["Tensor"]] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -183,12 +252,30 @@ class Tensor:
             out._backward_fn = backward_fn
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into this tensor's gradient buffer."""
+    def _accumulate(self, grad, owned: bool = False) -> None:
+        """Add ``grad`` (dense or :class:`SparseGrad`) into this tensor's buffer.
+
+        ``owned`` marks a dense buffer freshly allocated by the backward
+        pass with no other referents, which may be adopted without the
+        defensive copy (backward functions are allowed to return views of
+        their incoming gradient, so non-owned buffers must be copied).
+        Sparse gradients are always freshly built by their producers and
+        are adopted directly.
+        """
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.array(grad, copy=True)
+            if isinstance(grad, SparseGrad) or owned:
+                self.grad = grad
+            else:
+                self.grad = np.array(grad, copy=True)
+        elif isinstance(self.grad, SparseGrad):
+            if isinstance(grad, SparseGrad):
+                self.grad = self.grad.merge(grad)
+            else:
+                self.grad = self.grad + grad  # densifies
+        elif isinstance(grad, SparseGrad):
+            grad.add_into(self.grad)
         else:
             self.grad += grad
 
@@ -212,7 +299,7 @@ class Tensor:
                     f"tensor; got shape {self.shape}"
                 )
             grad = np.ones_like(self.data)
-        grad = _as_array(grad)
+        grad = _as_array(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             raise ValueError(
                 f"gradient shape {grad.shape} does not match tensor shape {self.shape}"
@@ -220,25 +307,63 @@ class Tensor:
 
         order = self._topological_order()
         grads = {id(self): grad}
+        # Keys whose buffer was allocated by this pass (merge results): those
+        # may be mutated in place and handed to ``_accumulate`` without the
+        # defensive copy.  Buffers returned by backward functions may alias
+        # op internals and are never mutated.
+        owned = set()
         for node in order:
             node_grad = grads.pop(id(node), None)
             if node_grad is None:
                 continue
-            node._accumulate(node_grad)
+            node_owned = id(node) in owned
+            owned.discard(id(node))
+            node._accumulate(node_grad, owned=node_owned)
             if node._backward_fn is None:
                 continue
+            if isinstance(node_grad, SparseGrad):
+                # Only leaf parameters receive sparse grads in practice;
+                # densify for the rare case of a non-leaf consumer.
+                node_grad = node_grad.to_dense()
             parent_grads = node._backward_fn(node_grad)
             for parent, parent_grad in zip(node._parents, parent_grads):
                 if parent_grad is None or not parent.requires_grad:
                     continue
                 key = id(parent)
-                if key in grads:
-                    grads[key] = grads[key] + parent_grad
-                else:
+                if key not in grads:
                     grads[key] = parent_grad
+                    continue
+                current = grads[key]
+                current_sparse = isinstance(current, SparseGrad)
+                incoming_sparse = isinstance(parent_grad, SparseGrad)
+                if key in owned and not current_sparse and not incoming_sparse:
+                    current += parent_grad  # reuse the merge buffer
+                elif key in owned and not current_sparse and incoming_sparse:
+                    parent_grad.add_into(current)
+                elif current_sparse and incoming_sparse:
+                    grads[key] = current.merge(parent_grad)
+                    owned.add(key)
+                elif incoming_sparse:
+                    # Unowned dense + sparse: copy the dense buffer once and
+                    # scatter the rows in (never densify the sparse side).
+                    grads[key] = parent_grad + current
+                    owned.add(key)
+                else:
+                    # sparse + dense, or unowned dense + dense: both allocate
+                    # a fresh buffer we then own.
+                    grads[key] = current + parent_grad
+                    owned.add(key)
 
     def _topological_order(self) -> List["Tensor"]:
-        """Return nodes reachable from ``self`` in reverse topological order."""
+        """Nodes reachable from ``self`` in reverse topological order.
+
+        The order is computed once per output tensor and cached: a graph's
+        structure is frozen at op-recording time, so repeated ``backward``
+        calls on the same output (gradient accumulation, gradcheck loops)
+        skip the graph walk entirely.
+        """
+        if self._topo_cache is not None:
+            return self._topo_cache
         order: List[Tensor] = []
         visited = set()
         stack: List[Tuple[Tensor, bool]] = [(self, False)]
@@ -255,6 +380,7 @@ class Tensor:
                 if id(parent) not in visited:
                     stack.append((parent, False))
         order.reverse()
+        self._topo_cache = order
         return order
 
     # ------------------------------------------------------------------
@@ -571,9 +697,15 @@ class Tensor:
         value = weight.data[indices]
 
         def backward(grad: np.ndarray):
-            full = np.zeros_like(weight.data)
-            np.add.at(full, indices, grad)
-            return (full,)
+            if not sparse_grads_enabled():
+                # Legacy dense path, kept for benchmarking and as a
+                # fallback: materialises the full table every step.
+                full = np.zeros_like(weight.data)
+                np.add.at(full, indices, grad)
+                return (full,)
+            dim = weight.data.shape[1]
+            rows = grad.reshape(-1, dim)
+            return (SparseGrad.from_rows(indices, rows, weight.data.shape),)
 
         return Tensor._make(value, (weight,), backward)
 
@@ -591,7 +723,10 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
 def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
     """Gather rows of ``weight`` by integer ``indices``.
 
-    The backward pass scatters gradients with ``np.add.at`` so repeated
-    indices accumulate correctly — the behaviour embedding tables need.
+    The backward pass emits a row-sparse :class:`~repro.nn.sparse.SparseGrad`
+    carrying only the touched rows (repeated indices are segment-summed), so
+    neither the gradient nor the optimizer update ever materialises the full
+    ``num_embeddings x dim`` table.  Wrap training in
+    ``use_sparse_grads(False)`` to fall back to the legacy dense scatter.
     """
     return Tensor._embedding_lookup(weight, indices)

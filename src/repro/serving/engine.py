@@ -91,6 +91,13 @@ class RealTimeEngine:
         self.predictor = PopularityPredictor(model, batch_size=config.batch_size)
         self.predictor.fit_user_group(user_group)
         self._scores: Optional[np.ndarray] = None
+        self._item_vectors: Optional[np.ndarray] = None
+        # Generator-path vectors depend only on the (static) catalogue
+        # profiles, so they are computed once and reused by every refresh.
+        self._generator_vectors: Optional[np.ndarray] = None
+        self._fresh = False
+        self._dirty: set = set()
+        self._order: Optional[np.ndarray] = None
         self._events_seen = 0
         self._refreshes = 0
 
@@ -101,7 +108,10 @@ class RealTimeEngine:
         """Apply a batch of behaviour events; scores become stale."""
         applied = self.store.ingest(events)
         self._events_seen += applied
-        self._scores = None
+        for event in events:
+            self._dirty.add(int(event.item_id))
+        self._fresh = False
+        self._order = None
         registry = get_active_registry()
         if registry is not None:
             registry.counter("engine.events_ingested").inc(applied)
@@ -124,40 +134,78 @@ class RealTimeEngine:
         names = self.model.schema.all_column_names(GROUP_ITEM_PROFILE)
         return {name: self.catalogue[name][slots] for name in names}
 
-    def refresh(self) -> np.ndarray:
-        """Recompute popularity for the whole catalogue.
+    def refresh(self, full: bool = False) -> np.ndarray:
+        """Recompute popularity, re-scoring only stale slots when possible.
 
         Cold slots score through the generator (profiles + mean user
         vector); warm slots additionally run the encoder with their live
         statistics, which the paper's engine uses once behaviour data
         accumulates.
+
+        The first call (and any call with ``full=True``) scores the whole
+        catalogue.  Subsequent calls reuse the cached generator vectors —
+        profiles are static — and run the encoder only for *stale* slots:
+        warm slots that received events since the last refresh (a slot
+        crossing the warm threshold is by construction dirty).  Because the
+        statistics store standardises columns over all trafficked slots,
+        incremental refreshes approximate untouched warm slots with their
+        previous vectors; call ``refresh(full=True)`` for an exact pass.
         """
         start = time.perf_counter()
         n = len(self.catalogue)
-        slots = np.arange(n)
-        features = self._profile_features(slots)
-        # Statistic columns default to zero (cold) ...
-        for name in self.model.schema.numeric_names(GROUP_ITEM_STAT):
-            features[name] = np.zeros(n)
+        full = full or self._generator_vectors is None
 
         was_training = self.model.training
         self.model.eval()
         try:
             with no_grad(), maybe_span("engine.refresh"):
-                item_vectors = self.model.generated_item_vectors(features).data
                 warm = self.store.warm_slots(self.config.warm_view_threshold)
-                if warm.size:
-                    # ... and warm slots get live statistics + encoder vectors.
-                    warm_features = self._profile_features(warm)
-                    warm_features.update(self.store.feature_columns(warm))
-                    item_vectors[warm] = self.model.encoded_item_vectors(
+                if full:
+                    slots = np.arange(n)
+                    features = self._profile_features(slots)
+                    # Statistic columns default to zero (cold) ...
+                    for name in self.model.schema.numeric_names(GROUP_ITEM_STAT):
+                        features[name] = np.zeros(n)
+                    self._generator_vectors = self.model.generated_item_vectors(
+                        features
+                    ).data
+                    item_vectors = self._generator_vectors.copy()
+                    stale = warm
+                else:
+                    warm_mask = np.zeros(n, dtype=bool)
+                    warm_mask[warm] = True
+                    stale = np.array(
+                        sorted(s for s in self._dirty if warm_mask[s]),
+                        dtype=np.int64,
+                    )
+                    # Copy-on-write: callers hold arrays returned by
+                    # earlier scores() calls, which must not change.
+                    item_vectors = (
+                        self._item_vectors.copy()
+                        if stale.size
+                        else self._item_vectors
+                    )
+                if stale.size:
+                    # ... and stale warm slots get live statistics +
+                    # encoder vectors.
+                    warm_features = self._profile_features(stale)
+                    warm_features.update(self.store.feature_columns(stale))
+                    item_vectors[stale] = self.model.encoded_item_vectors(
                         warm_features
                     ).data
         finally:
             self.model.train(was_training)
 
-        self._scores = self.predictor.score_item_vectors(item_vectors)
+        if full:
+            self._scores = self.predictor.score_item_vectors(item_vectors)
+        elif stale.size:
+            scores = self._scores.copy()
+            scores[stale] = self.predictor.score_item_vectors(item_vectors[stale])
+            self._scores = scores
         self._item_vectors = item_vectors
+        self._dirty.clear()
+        self._fresh = True
+        self._order = None
         self._refreshes += 1
         registry = get_active_registry()
         if registry is not None:
@@ -165,6 +213,7 @@ class RealTimeEngine:
             registry.counter("engine.refreshes").inc()
             registry.counter("engine.warm_path_items").inc(n_warm)
             registry.counter("engine.cold_path_items").inc(n - n_warm)
+            registry.counter("engine.slots_rescored").inc(int(stale.size))
             registry.histogram("engine.refresh_seconds").observe(
                 time.perf_counter() - start
             )
@@ -172,20 +221,30 @@ class RealTimeEngine:
 
     def scores(self) -> np.ndarray:
         """Current popularity scores, refreshing lazily when stale."""
-        if self._scores is None:
+        if self._scores is None or not self._fresh:
             self.refresh()
         return self._scores
 
     # ------------------------------------------------------------------
     # Downstream applications
     # ------------------------------------------------------------------
-    def top_promotion_candidates(self, k: int) -> np.ndarray:
-        """Smart selection: the k most popular catalogue slots."""
+    def top_k(self, k: int) -> np.ndarray:
+        """The ``k`` most popular catalogue slots, best first.
+
+        The full descending order is computed once per refresh and cached,
+        so repeated queries (any ``k``, including ``k == n``) between
+        ingests cost a slice.
+        """
         scores = self.scores()
         if not 1 <= k <= scores.size:
             raise ValueError(f"k must be in [1, {scores.size}], got {k}")
-        top = np.argpartition(scores, -k)[-k:]
-        return top[np.argsort(scores[top])[::-1]]
+        if self._order is None:
+            self._order = np.argsort(scores)[::-1]
+        return self._order[:k]
+
+    def top_promotion_candidates(self, k: int) -> np.ndarray:
+        """Smart selection: the k most popular catalogue slots."""
+        return self.top_k(k)
 
     def recommend_for_user(
         self, user_features: Dict[str, np.ndarray], k: int

@@ -199,3 +199,88 @@ class TestRealTimeEngine:
     def test_invalid_engine_config_rejected(self):
         with pytest.raises(ValueError):
             EngineConfig(warm_view_threshold=0)
+
+
+class TestIncrementalRefresh:
+    def test_incremental_matches_full_for_touched_slots(
+        self, engine, tiny_tmall_world, rng
+    ):
+        engine.refresh()
+        events = generate_event_stream(
+            tiny_tmall_world, np.array([3, 8]), n_events=250, rng=rng
+        )
+        engine.ingest(events)
+        incremental = engine.refresh().copy()
+        # A full pass from the same store state is the exact reference.
+        full = engine.refresh(full=True)
+        np.testing.assert_allclose(incremental[[3, 8]], full[[3, 8]])
+
+    def test_incremental_rescored_only_dirty_warm_slots(
+        self, engine, tiny_tmall_world, rng
+    ):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            engine.refresh()
+            events = generate_event_stream(
+                tiny_tmall_world, np.array([3]), n_events=200, rng=rng
+            )
+            engine.ingest(events)
+            engine.refresh()
+        rescored = registry.counter("engine.slots_rescored").value
+        # First refresh had no warm slots; second re-scored only slot 3.
+        assert rescored == 1
+
+    def test_cold_dirty_slots_keep_generator_scores(
+        self, engine, tiny_tmall_world, rng
+    ):
+        """Events below the warm threshold don't perturb generator scores."""
+        cold = engine.refresh().copy()
+        events = [Event(EventKind.VIEW, item_id=6, user_id=0, timestamp=0.0)]
+        engine.ingest(events)
+        second = engine.scores()
+        np.testing.assert_allclose(second, cold)
+
+    def test_full_refresh_reuses_cached_generator_vectors(self, engine):
+        engine.refresh()
+        first_generator = engine._generator_vectors
+        engine.refresh(full=True)
+        # Recomputed (same values) but the cache slot stays populated.
+        assert engine._generator_vectors is not None
+        np.testing.assert_allclose(engine._generator_vectors, first_generator)
+
+
+class TestTopKCache:
+    def test_top_k_full_size(self, engine):
+        scores = engine.scores()
+        order = engine.top_k(scores.size)
+        assert len(order) == scores.size
+        assert np.all(np.diff(scores[order]) <= 0)
+        assert set(order.tolist()) == set(range(scores.size))
+
+    def test_top_k_matches_promotion_candidates(self, engine):
+        np.testing.assert_array_equal(
+            engine.top_k(7), engine.top_promotion_candidates(7)
+        )
+
+    def test_order_cached_until_ingest(self, engine, tiny_tmall_world, rng):
+        engine.top_k(3)
+        cached = engine._order
+        assert cached is not None
+        engine.top_k(9)
+        assert engine._order is cached  # no recompute between ingests
+        events = generate_event_stream(
+            tiny_tmall_world, np.array([3]), n_events=200, rng=rng
+        )
+        engine.ingest(events)
+        assert engine._order is None  # invalidated
+        engine.top_k(3)
+        assert engine._order is not None
+
+    def test_top_k_validation_bounds(self, engine):
+        scores = engine.scores()
+        with pytest.raises(ValueError):
+            engine.top_k(0)
+        with pytest.raises(ValueError):
+            engine.top_k(scores.size + 1)

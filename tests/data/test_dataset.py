@@ -166,6 +166,35 @@ class TestBatching:
         with pytest.raises(KeyError):
             batch.label("vppv")
 
+    def test_shuffled_epoch_matches_per_batch_gather_reference(self):
+        """The epoch-level gather must reproduce the legacy per-batch
+        gather exactly, including the RNG stream (one shuffle per epoch)."""
+        dataset = _dataset(n=23)
+        batches = list(dataset.iter_batches(5, rng=np.random.default_rng(9)))
+        order = np.arange(23)
+        np.random.default_rng(9).shuffle(order)
+        for position, batch in enumerate(batches):
+            index = order[position * 5 : (position + 1) * 5]
+            for name, column in dataset.features.items():
+                np.testing.assert_array_equal(batch.features[name], column[index])
+            np.testing.assert_array_equal(batch.label("ctr"),
+                                          dataset.label("ctr")[index])
+
+    def test_unshuffled_batches_are_views(self):
+        dataset = _dataset(n=12)
+        batch = next(iter(dataset.iter_batches(4)))
+        assert batch.features["uid"].base is dataset.features["uid"]
+
+    def test_shuffled_drop_last(self):
+        dataset = _dataset(n=23)
+        sizes = [
+            b.size
+            for b in dataset.iter_batches(
+                5, rng=np.random.default_rng(0), drop_last=True
+            )
+        ]
+        assert sizes == [5, 5, 5, 5]
+
 
 class TestSplits:
     def test_split_proportions(self):

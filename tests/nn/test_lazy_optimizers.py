@@ -1,0 +1,126 @@
+"""Lazy (row-sparse) optimizer updates vs the dense reference.
+
+Each optimizer's sparse path must match its dense path exactly on the rows
+the batches touch, provided every batch touches the same rows (so lazy
+moment freezing never kicks in).  AdaGrad and FTRL are exactly equivalent
+on touched rows regardless; see the class docstrings for the documented
+divergences on skipped rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam, AdaGrad, FTRL
+from repro.nn.sparse import SparseGrad
+
+
+def _make_optimizer(factory, param):
+    name, kwargs = factory
+    cls = {"sgd": SGD, "sgd_momentum": SGD, "adam": Adam,
+           "adam_wd": Adam, "adagrad": AdaGrad, "ftrl": FTRL}[name]
+    return cls([param], **kwargs)
+
+
+OPTIMIZERS = [
+    ("sgd", {"lr": 0.1}),
+    ("sgd_momentum", {"lr": 0.1, "momentum": 0.9, "nesterov": True}),
+    ("adam", {"lr": 0.05}),
+    ("adam_wd", {"lr": 0.05, "weight_decay": 0.01}),
+    ("adagrad", {"lr": 0.1}),
+    ("ftrl", {"lr": 0.5, "l1": 0.01, "l2": 0.1}),
+]
+
+
+@pytest.mark.parametrize("factory", OPTIMIZERS, ids=[f[0] for f in OPTIMIZERS])
+def test_lazy_matches_dense_on_touched_rows(factory, rng):
+    """Multi-step parity when every step touches the same row set."""
+    shape = (12, 4)
+    initial = rng.normal(size=shape)
+    touched = np.array([1, 4, 7])
+    step_rows = [rng.normal(size=(touched.size, shape[1])) for _ in range(4)]
+
+    dense_param = Parameter(initial.copy())
+    dense_optimizer = _make_optimizer(factory, dense_param)
+    lazy_param = Parameter(initial.copy())
+    lazy_optimizer = _make_optimizer(factory, lazy_param)
+
+    for rows in step_rows:
+        dense = np.zeros(shape)
+        dense[touched] = rows
+        dense_param.grad = dense
+        dense_optimizer.step()
+
+        lazy_param.grad = SparseGrad.from_rows(touched, rows.copy(), shape)
+        lazy_optimizer.step()
+
+        np.testing.assert_allclose(
+            lazy_param.data[touched], dense_param.data[touched],
+            rtol=1e-10, atol=1e-12,
+        )
+
+
+@pytest.mark.parametrize(
+    "factory", [("sgd", {"lr": 0.1}), ("adagrad", {"lr": 0.1})],
+    ids=["sgd", "adagrad"],
+)
+def test_untouched_rows_never_move(factory, rng):
+    shape = (10, 3)
+    initial = rng.normal(size=shape)
+    param = Parameter(initial.copy())
+    optimizer = _make_optimizer(factory, param)
+    param.grad = SparseGrad.from_rows(
+        np.array([2, 5]), rng.normal(size=(2, 3)), shape
+    )
+    optimizer.step()
+    untouched = np.array([0, 1, 3, 4, 6, 7, 8, 9])
+    np.testing.assert_array_equal(param.data[untouched], initial[untouched])
+
+
+def test_repeated_ids_in_one_step_sum(rng):
+    """A row hit twice in one batch gets one update with the summed grad."""
+    shape = (6, 2)
+    initial = rng.normal(size=shape)
+    rows = rng.normal(size=(3, 2))
+
+    lazy = Parameter(initial.copy())
+    SGD([lazy], lr=0.5)._update_sparse(
+        lazy, SparseGrad.from_rows(np.array([4, 4, 1]), rows, shape, dedup=False)
+    )
+    dense = Parameter(initial.copy())
+    grad = np.zeros(shape)
+    np.add.at(grad, np.array([4, 4, 1]), rows)
+    dense.grad = grad
+    SGD([dense], lr=0.5).step()
+    np.testing.assert_allclose(lazy.data, dense.data)
+
+
+def test_empty_sparse_grad_is_a_noop(rng):
+    shape = (5, 3)
+    initial = rng.normal(size=shape)
+    param = Parameter(initial.copy())
+    optimizer = Adam([param], lr=0.1)
+    param.grad = SparseGrad.from_rows(
+        np.array([], dtype=np.int64), np.zeros((0, 3)), shape
+    )
+    optimizer.step()
+    np.testing.assert_array_equal(param.data, initial)
+
+
+def test_weight_decay_zero_returns_grad_unchanged(rng):
+    param = Parameter(rng.normal(size=(4, 2)))
+    param.grad = rng.normal(size=(4, 2))
+    optimizer = SGD([param], lr=0.1)
+    assert optimizer._decayed_grad(param, 0.0) is param.grad
+
+
+def test_weight_decay_buffer_reused_across_steps(rng):
+    param = Parameter(rng.normal(size=(4, 2)))
+    optimizer = SGD([param], lr=0.1, weight_decay=0.05)
+    param.grad = rng.normal(size=(4, 2))
+    first = optimizer._decayed_grad(param, 0.05)
+    np.testing.assert_allclose(first, param.grad + 0.05 * param.data)
+    param.grad = rng.normal(size=(4, 2))
+    second = optimizer._decayed_grad(param, 0.05)
+    assert second is first  # same scratch buffer
+    np.testing.assert_allclose(second, param.grad + 0.05 * param.data)
