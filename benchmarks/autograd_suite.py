@@ -2,8 +2,9 @@
 
 Measures the sparse-gradient fast path against the legacy dense path on an
 embedding-heavy train step (large id vocabularies, batch 512) inside one
-process, plus the float32 compute mode and the serving engine's
-incremental refresh.  Emits a JSON report consumed by the CI smoke job and
+process, plus the float32 compute mode, the runtime sanitizer's
+on-vs-off overhead and the serving engine's incremental refresh.  Emits a
+JSON report consumed by the CI smoke job and
 two per-op breakdowns (dense vs sparse) via the ``repro.obs`` autograd
 profiler.
 
@@ -95,10 +96,25 @@ def _timed_steps(model, optimizer, batches, labels):
     return times
 
 
-def _run_variant(preset, sparse, dtype, profile=False, seed=0):
-    """Time the embedding-heavy train step for one engine configuration."""
+def _run_variant(preset, sparse, dtype, profile=False, seed=0, sanitize=None):
+    """Time the embedding-heavy train step for one engine configuration.
+
+    ``sanitize`` arms the runtime sanitizer around the measured steps:
+    ``"on"`` is the standard mode (version checks + NaN/Inf taint),
+    ``"deep"`` additionally fingerprints every saved buffer
+    (``check_content=True``).  ``None`` — the default, and the
+    configuration every regression gate measures — runs the unpatched
+    engine.
+    """
     config = PRESETS[preset]
     rng = np.random.default_rng(seed)
+    sanitizer = None
+    if sanitize is not None:
+        from repro.analysis import GradSanitizer
+
+        sanitizer = GradSanitizer(
+            track_nonfinite=True, check_content=(sanitize == "deep")
+        )
     with default_dtype(dtype):
         model = _EmbeddingHeavyModel(
             config["vocab_sizes"], config["embedding_dims"], rng
@@ -115,11 +131,15 @@ def _run_variant(preset, sparse, dtype, profile=False, seed=0):
             _timed_steps(model, optimizer, batches[: config["warmup_steps"]], labels)
             if profiler is not None:
                 profiler.enable()
+            if sanitizer is not None:
+                sanitizer.enable()
             try:
                 times = _timed_steps(
                     model, optimizer, batches[config["warmup_steps"] :], labels
                 )
             finally:
+                if sanitizer is not None:
+                    sanitizer.disable()
                 if profiler is not None:
                     profiler.disable()
     return {
@@ -218,6 +238,18 @@ def run_suite(preset: str) -> dict:
     sparse_f32 = _run_variant(preset, sparse=True, dtype=np.float32)
     print(f"  {sparse_f32['seconds_per_step'] * 1e3:.2f} ms/step")
 
+    # Sanitizer overhead: the "off" row is the sparse float64 measurement
+    # above (the unpatched engine the regression gate scores), so arming
+    # the sanitizer can never perturb the gated number.
+    print("[autograd-suite] sparse float64 + sanitizer ...")
+    sanitized = _run_variant(preset, sparse=True, dtype=np.float64, sanitize="on")
+    print(f"  {sanitized['seconds_per_step'] * 1e3:.2f} ms/step")
+    print("[autograd-suite] sparse float64 + sanitizer (deep) ...")
+    sanitized_deep = _run_variant(
+        preset, sparse=True, dtype=np.float64, sanitize="deep"
+    )
+    print(f"  {sanitized_deep['seconds_per_step'] * 1e3:.2f} ms/step")
+
     print("[autograd-suite] serving refresh full vs incremental ...")
     engine = _bench_engine_refresh(preset)
     print(f"  full {engine['full_seconds'] * 1e3:.2f} ms vs incremental "
@@ -243,6 +275,23 @@ def run_suite(preset: str) -> dict:
             "speedup_sparse_vs_dense": speedup,
             "speedup_f32_vs_f64": (
                 sparse_f64["seconds_per_step"] / sparse_f32["seconds_per_step"]
+            ),
+        },
+        "sanitizer": {
+            "off": {k: sparse_f64[k] for k in
+                    ("seconds_per_step", "seconds_per_step_median",
+                     "seconds_per_step_std", "steps")},
+            "on": {k: sanitized[k] for k in
+                   ("seconds_per_step", "seconds_per_step_median",
+                    "seconds_per_step_std", "steps")},
+            "deep": {k: sanitized_deep[k] for k in
+                     ("seconds_per_step", "seconds_per_step_median",
+                      "seconds_per_step_std", "steps")},
+            "overhead_on_vs_off": (
+                sanitized["seconds_per_step"] / sparse_f64["seconds_per_step"]
+            ),
+            "overhead_deep_vs_off": (
+                sanitized_deep["seconds_per_step"] / sparse_f64["seconds_per_step"]
             ),
         },
         "per_op": {

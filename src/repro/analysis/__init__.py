@@ -1,0 +1,54 @@
+"""Static and runtime analysis for the autograd engine and its models.
+
+Three coordinated passes (see ``docs/static_analysis.md``):
+
+* :mod:`repro.analysis.checker` — static graph checker tracing models on
+  abstract batches (symbolic shapes, dtype promotions, detached
+  subgraphs, grad-less parameters);
+* :mod:`repro.analysis.sanitizer` — opt-in runtime sanitizer (saved
+  buffer versioning, aliased accumulation, NaN/Inf taint provenance);
+* :mod:`repro.analysis.lint` — engine-aware AST lint over the source
+  tree (rules ``ATN001``–``ATN004``).
+
+CLI: ``python -m repro.analysis {lint,check-model,sanitize-smoke}``.
+"""
+
+from repro.analysis.checker import (
+    CheckReport,
+    GraphTracer,
+    PathSpec,
+    check_model,
+    default_paths,
+    demo_schema,
+    schema_inputs,
+)
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    has_errors,
+    render_diagnostics,
+)
+from repro.analysis.lint import run_lint
+from repro.analysis.sanitizer import (
+    GradSanitizer,
+    SanitizerError,
+    TaintRecord,
+    sanitizer_active,
+)
+
+__all__ = [
+    "CheckReport",
+    "GraphTracer",
+    "PathSpec",
+    "check_model",
+    "default_paths",
+    "demo_schema",
+    "schema_inputs",
+    "Diagnostic",
+    "has_errors",
+    "render_diagnostics",
+    "run_lint",
+    "GradSanitizer",
+    "SanitizerError",
+    "TaintRecord",
+    "sanitizer_active",
+]

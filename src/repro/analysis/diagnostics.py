@@ -1,0 +1,92 @@
+"""Shared diagnostic record for the static-analysis subsystem.
+
+Every pass in :mod:`repro.analysis` — the graph checker, the runtime
+sanitizer and the AST lint — reports problems as :class:`Diagnostic`
+values, so CLI drivers and tests can rank, filter and render findings
+from any pass with one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["Diagnostic", "ERROR", "WARNING", "has_errors", "render_diagnostics"]
+
+ERROR = "error"
+WARNING = "warning"
+
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from an analysis pass.
+
+    Attributes
+    ----------
+    code:
+        Stable machine-readable identifier (``ATN001`` for lint rules,
+        ``shape-error`` / ``dtype-promotion`` / ... for the graph checker,
+        ``stale-saved-buffer`` / ``nonfinite`` for the sanitizer).
+    severity:
+        ``"error"`` (fails the pass) or ``"warning"``.
+    message:
+        Human-readable, single-line description.
+    location:
+        Where the problem was found — ``path:line:col`` for lint,
+        a dotted module path (e.g. ``item_encoder.head``) for the graph
+        checker, an op label for the sanitizer.
+    details:
+        Free-form extra context (shapes, dtypes, versions, ...).
+    """
+
+    code: str
+    severity: str
+    message: str
+    location: str = ""
+    details: Tuple[Tuple[str, str], ...] = field(default=())
+
+    @staticmethod
+    def make(
+        code: str,
+        severity: str,
+        message: str,
+        location: str = "",
+        **details: object,
+    ) -> "Diagnostic":
+        """Build a diagnostic, normalising ``details`` to sorted pairs."""
+        if severity not in _SEVERITY_RANK:
+            raise ValueError(f"severity must be error|warning, got {severity!r}")
+        pairs = tuple(sorted((key, str(value)) for key, value in details.items()))
+        return Diagnostic(code, severity, message, location, pairs)
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == ERROR
+
+    def sort_key(self):
+        return (_SEVERITY_RANK.get(self.severity, 9), self.location, self.code)
+
+    def format(self) -> str:
+        """One-line rendering: ``location: severity CODE message [k=v ...]``."""
+        prefix = f"{self.location}: " if self.location else ""
+        suffix = ""
+        if self.details:
+            suffix = " [" + " ".join(f"{k}={v}" for k, v in self.details) + "]"
+        return f"{prefix}{self.severity} {self.code} {self.message}{suffix}"
+
+    def detail(self, key: str) -> str:
+        """Look up one ``details`` value (empty string when absent)."""
+        return dict(self.details).get(key, "")
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    """Whether any diagnostic is error-severity."""
+    return any(d.is_error for d in diagnostics)
+
+
+def render_diagnostics(diagnostics: Iterable[Diagnostic]) -> str:
+    """Sorted, one-per-line rendering used by the CLI drivers."""
+    ordered: List[Diagnostic] = sorted(diagnostics, key=Diagnostic.sort_key)
+    return "\n".join(d.format() for d in ordered)

@@ -1,0 +1,29 @@
+"""Engine-aware AST lint: rule framework plus the ATN rule set."""
+
+from repro.analysis.lint.engine import (
+    Finding,
+    LintRule,
+    iter_python_files,
+    lint_file,
+    run_lint,
+)
+from repro.analysis.lint.rules import (
+    DenseScatterAddRule,
+    Float64LiteralRule,
+    SparseGradDuckTypingRule,
+    TensorDataMutationRule,
+    default_rules,
+)
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "iter_python_files",
+    "lint_file",
+    "run_lint",
+    "DenseScatterAddRule",
+    "Float64LiteralRule",
+    "SparseGradDuckTypingRule",
+    "TensorDataMutationRule",
+    "default_rules",
+]

@@ -1,0 +1,190 @@
+"""Rule framework for the engine-aware AST lint pass.
+
+Rules are small classes with a stable code (``ATN001`` ...), a path
+scope, and a ``run`` method yielding findings over a parsed module.  The
+engine walks the requested paths, parses each Python file once, applies
+every in-scope rule and reconciles the findings with inline suppression
+comments::
+
+    param.grad.copy()  # repro-lint: disable=ATN004 -- dense-only test path
+
+The suppression *must* carry a ``-- reason`` tail; a bare ``disable=``
+is itself reported as ``ATN000`` so the lint gate cannot be muted
+silently.  Codes are comma-separable (``disable=ATN001,ATN002``) and the
+special code ``ALL`` suppresses every rule on that line.
+
+Run programmatically via :func:`run_lint` or from the CLI::
+
+    python -m repro.analysis lint src tests
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import ERROR, Diagnostic
+
+__all__ = ["LintRule", "Finding", "run_lint", "lint_file", "iter_python_files"]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<codes>[A-Z0-9,\s]+?)"
+    r"(?:\s*--\s*(?P<reason>\S.*))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """A raw rule hit before suppression filtering."""
+
+    code: str
+    line: int
+    col: int
+    message: str
+
+
+class LintRule:
+    """Base class: subclasses set ``code``/``name``/``description``.
+
+    ``applies_to`` scopes the rule by repo-relative posix path; ``run``
+    yields :class:`Finding` values for one parsed file.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def applies_to(self, relpath: str) -> bool:
+        return True
+
+    def run(self, tree: ast.AST, relpath: str) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class _Suppression:
+    line: int
+    codes: Tuple[str, ...]
+    reason: Optional[str]
+
+    def covers(self, code: str) -> bool:
+        return "ALL" in self.codes or code in self.codes
+
+
+def _parse_suppressions(source: str) -> Dict[int, _Suppression]:
+    """Map line number -> suppression directive found in its comment."""
+    suppressions: Dict[int, _Suppression] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            codes = tuple(
+                code.strip() for code in match.group("codes").split(",") if code.strip()
+            )
+            suppressions[token.start[0]] = _Suppression(
+                line=token.start[0], codes=codes, reason=match.group("reason")
+            )
+    except tokenize.TokenError:
+        pass  # the ast.parse failure is reported separately
+    return suppressions
+
+
+def lint_file(
+    path: Path, rules: Sequence[LintRule], root: Optional[Path] = None
+) -> List[Diagnostic]:
+    """Lint one file: parse, run in-scope rules, apply suppressions."""
+    try:
+        relpath = (path.relative_to(root) if root else path).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    source = path.read_text(encoding="utf-8")
+    diagnostics: List[Diagnostic] = []
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        diagnostics.append(
+            Diagnostic.make(
+                "parse-error",
+                ERROR,
+                f"file does not parse: {error.msg}",
+                location=f"{relpath}:{error.lineno or 0}:{error.offset or 0}",
+            )
+        )
+        return diagnostics
+
+    suppressions = _parse_suppressions(source)
+    for suppression in suppressions.values():
+        if not suppression.reason:
+            diagnostics.append(
+                Diagnostic.make(
+                    "ATN000",
+                    ERROR,
+                    "suppression without a reason; write "
+                    "'# repro-lint: disable=CODE -- why it is safe here'",
+                    location=f"{relpath}:{suppression.line}:0",
+                )
+            )
+
+    for rule in rules:
+        if not rule.applies_to(relpath):
+            continue
+        for finding in rule.run(tree, relpath):
+            suppression = suppressions.get(finding.line)
+            if suppression is not None and suppression.covers(finding.code):
+                continue
+            diagnostics.append(
+                Diagnostic.make(
+                    finding.code,
+                    ERROR,
+                    finding.message,
+                    location=f"{relpath}:{finding.line}:{finding.col}",
+                    rule=rule.name,
+                )
+            )
+    return diagnostics
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` (files pass through), sorted."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        yield from sorted(
+            p
+            for p in path.rglob("*.py")
+            if not any(part.startswith(".") for part in p.parts)
+        )
+
+
+def run_lint(
+    paths: Sequence[str],
+    rules: Optional[Sequence[LintRule]] = None,
+    root: Optional[Path] = None,
+) -> List[Diagnostic]:
+    """Lint every Python file under ``paths`` with ``rules``.
+
+    ``root`` (default: the current directory) anchors the repo-relative
+    paths rules scope on; pass the repo root when invoking from
+    elsewhere.
+    """
+    if rules is None:
+        from repro.analysis.lint.rules import default_rules
+
+        rules = default_rules()
+    root = root if root is not None else Path.cwd()
+    diagnostics: List[Diagnostic] = []
+    for path in iter_python_files(Path(p) for p in paths):
+        resolved = path if path.is_absolute() else root / path
+        diagnostics.extend(lint_file(resolved, rules, root=root))
+    return diagnostics

@@ -20,7 +20,7 @@ from repro.data.schema import FeatureSchema
 from repro.nn.losses import binary_cross_entropy_with_logits
 from repro.nn.module import Module
 from repro.nn.optim import FTRL, Adam
-from repro.nn.tensor import Tensor, no_grad
+from repro.nn.tensor import Tensor, get_default_dtype, no_grad
 
 __all__ = ["FlatCTRModel"]
 
@@ -52,14 +52,15 @@ class FlatCTRModel(Module):
 
     # ------------------------------------------------------------------
     def _numeric_matrix(self, features: Dict[str, np.ndarray]) -> np.ndarray:
+        dtype = get_default_dtype()
         if not self.numeric_names:
             n = len(next(iter(features.values())))
-            return np.zeros((n, 0))
+            return np.zeros((n, 0), dtype=dtype)
         missing = [n for n in self.numeric_names if n not in features]
         if missing:
             raise KeyError(f"missing numeric features: {missing}")
         return np.column_stack(
-            [np.asarray(features[name], dtype=np.float64) for name in self.numeric_names]
+            [np.asarray(features[name], dtype=dtype) for name in self.numeric_names]
         )
 
     def logits(self, features: Dict[str, np.ndarray]) -> Tensor:

@@ -54,7 +54,9 @@ class FactorizationMachine(FlatCTRModel):
         self.linear = LogisticRegressionCTR(schema, groups, rng=rng)
         for feature in self.categorical_features:
             table = Embedding(feature.vocab_size, factor_dim, rng=rng)
-            table.weight.data *= 0.2  # small factors stabilise early epochs
+            # Small factors stabilise early epochs; assign_ keeps the
+            # rescale on the engine's version-tracked mutation channel.
+            table.weight.assign_(table.weight.data * 0.2)
             self.register_module(f"v_{feature.name}", table)
         n_numeric = len(self.numeric_names)
         self.numeric_factors = Parameter(

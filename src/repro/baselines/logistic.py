@@ -35,7 +35,8 @@ class LogisticRegressionCTR(FlatCTRModel):
         rng = rng if rng is not None else np.random.default_rng()
         for feature in self.categorical_features:
             table = Embedding(feature.vocab_size, 1, rng=rng)
-            table.weight.data *= 0.01  # near-zero start, LR convention
+            # Near-zero start (LR convention), via the version-tracked channel.
+            table.weight.assign_(table.weight.data * 0.01)
             self.register_module(f"w_{feature.name}", table)
         n_numeric = len(self.numeric_names)
         self.numeric_weight = Parameter(

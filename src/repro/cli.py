@@ -68,6 +68,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["debug", "info", "warning", "error"],
         help="enable structured logging to stderr at this level",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "arm the runtime autograd sanitizer for the whole run "
+            "(saved-buffer version checks + NaN/Inf taint tracking); "
+            "a buffer-discipline violation aborts with a diagnostic"
+        ),
+    )
     return parser
 
 
@@ -87,6 +96,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.telemetry is not None:
         session = TelemetrySession(label=f"{args.experiment}:{args.preset}")
         session.start()
+    sanitizer = None
+    if args.sanitize:
+        from repro.analysis import GradSanitizer
+
+        sanitizer = GradSanitizer(track_nonfinite=True).enable()
     try:
         if args.experiment == "all":
             results = run_all(args.preset, verbose=True)
@@ -106,6 +120,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             save_json(result.as_dict(), args.output / f"{args.experiment}.json")
         return 0
     finally:
+        if sanitizer is not None:
+            sanitizer.disable()
+            print(
+                "[sanitizer: "
+                f"{sanitizer.stats['forward_ops']} ops checked, "
+                f"{len(sanitizer.diagnostics)} finding(s)]"
+            )
         if session is not None:
             session.stop()
             session.write_jsonl(args.telemetry)

@@ -43,7 +43,7 @@ class KMeansResult:
 
     def predict(self, points: np.ndarray) -> np.ndarray:
         """Assign new points to the nearest fitted centroid."""
-        points = np.asarray(points, dtype=np.float64)
+        points = np.asarray(points, dtype=np.float64)  # repro-lint: disable=ATN002 -- centroid assignment must match fit(), which runs float64 for stable convergence
         if points.ndim != 2 or points.shape[1] != self.centroids.shape[1]:
             raise ValueError(
                 f"points must be (n, {self.centroids.shape[1]}), got {points.shape}"
@@ -112,7 +112,7 @@ def kmeans(
     tolerance:
         Stop when the total centroid movement falls below this value.
     """
-    points = np.asarray(points, dtype=np.float64)
+    points = np.asarray(points, dtype=np.float64)  # repro-lint: disable=ATN002 -- Lloyd iterations accumulate tiny centroid movements; float64 keeps the tolerance test meaningful regardless of engine dtype
     if points.ndim != 2:
         raise ValueError(f"points must be 2-D, got shape {points.shape}")
     n = points.shape[0]

@@ -110,7 +110,7 @@ class ConcatMLPHead(Module):
                 final = layer
         if final is None or final.bias is None:
             raise RuntimeError("head has no final linear bias to initialise")
-        final.bias.data[...] = float(value)
+        final.bias.assign_(float(value))
 
     def forward(self, item_vectors: Tensor, user_vectors: Tensor) -> Tensor:
         """Scalar outputs, shape ``(batch,)``."""

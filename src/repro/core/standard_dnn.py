@@ -22,7 +22,7 @@ from repro.data.schema import (
 )
 from repro.nn.layers import MLP, FeatureEmbeddings
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor, concat, no_grad
+from repro.nn.tensor import Tensor, concat, get_default_dtype, no_grad
 
 __all__ = ["StandardDNN"]
 
@@ -75,7 +75,10 @@ class StandardDNN(Module):
             if missing:
                 raise KeyError(f"missing numeric features: {missing}")
             numeric = np.column_stack(
-                [np.asarray(features[n], dtype=np.float64) for n in self.numeric_names]
+                [
+                    np.asarray(features[n], dtype=get_default_dtype())
+                    for n in self.numeric_names
+                ]
             )
             parts.append(Tensor(numeric))
         joined = parts[0] if len(parts) == 1 else concat(parts, axis=-1)

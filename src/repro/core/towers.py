@@ -18,7 +18,7 @@ import numpy as np
 from repro.data.schema import FeatureSchema
 from repro.nn.layers import DCN, MLP, EmbeddingBag, FeatureEmbeddings
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor, concat
+from repro.nn.tensor import Tensor, concat, get_default_dtype
 
 __all__ = ["TowerConfig", "Tower"]
 
@@ -178,8 +178,12 @@ class Tower(Module):
             missing = [n for n in self.numeric_names if n not in features]
             if missing:
                 raise KeyError(f"missing numeric features: {missing}")
+            # Assemble numerics directly in the engine's compute dtype: a
+            # hard-coded float64 here would silently promote the whole
+            # concatenated input (and one extra astype copy) in f32 mode.
+            dtype = get_default_dtype()
             numeric = np.column_stack(
-                [np.asarray(features[name], dtype=np.float64) for name in self.numeric_names]
+                [np.asarray(features[name], dtype=dtype) for name in self.numeric_names]
             )
             parts.append(Tensor(numeric))
         if len(parts) == 1:

@@ -13,9 +13,11 @@ from repro.nn.tensor import (
     concat,
     default_dtype,
     embedding_lookup,
+    get_active_sanitizer,
     get_default_dtype,
     is_grad_enabled,
     no_grad,
+    set_active_sanitizer,
     set_default_dtype,
     stack,
 )
@@ -37,9 +39,11 @@ __all__ = [
     "concat",
     "default_dtype",
     "embedding_lookup",
+    "get_active_sanitizer",
     "get_default_dtype",
     "is_grad_enabled",
     "no_grad",
+    "set_active_sanitizer",
     "set_default_dtype",
     "stack",
 ]

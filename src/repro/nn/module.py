@@ -79,6 +79,18 @@ class Module:
         """Total number of scalar weights in the module tree."""
         return sum(p.size for p in self.parameters())
 
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(qualified_name, module)`` pairs, this module first.
+
+        The root is yielded under ``prefix`` (empty by default), children
+        under dotted paths — the naming used by the static graph checker
+        to locate the module that recorded a faulty op.
+        """
+        yield prefix, self
+        for child_name, child in self._modules.items():
+            child_prefix = f"{prefix}.{child_name}" if prefix else child_name
+            yield from child.named_modules(prefix=child_prefix)
+
     def zero_grad(self) -> None:
         """Clear gradients on every parameter."""
         for param in self.parameters():
@@ -95,6 +107,7 @@ class Module:
         for param in self.parameters():
             if param.data.dtype != dtype:
                 param.data = param.data.astype(dtype)
+                param.bump_version()
             param.grad = None
         return self
 
@@ -140,7 +153,7 @@ class Module:
                     f"shape mismatch for {name!r}: "
                     f"expected {param.data.shape}, got {value.shape}"
                 )
-            param.data[...] = value
+            param.assign_(value)
 
     # ------------------------------------------------------------------
     # Forward dispatch

@@ -52,6 +52,7 @@ class AdaGrad(Optimizer):
         grad = param.grad
         acc += grad * grad
         param.data -= self.lr * grad / (np.sqrt(acc) + self.eps)
+        param.bump_version()
 
     def _update_sparse(self, param: Parameter, grad: SparseGrad) -> None:
         """Row-wise lazy update — exactly matches the dense step."""
@@ -69,3 +70,4 @@ class AdaGrad(Optimizer):
         acc_rows += rows * rows
         acc[idx] = acc_rows
         param.data[idx] -= self.lr * rows / (np.sqrt(acc_rows) + self.eps)
+        param.bump_version()

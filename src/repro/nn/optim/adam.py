@@ -91,6 +91,7 @@ class Adam(Optimizer):
         m_hat = m / (1 - self.beta1 ** t)
         v_hat = v / (1 - self.beta2 ** t)
         param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        param.bump_version()
 
     def _update_sparse(self, param: Parameter, grad: SparseGrad) -> None:
         """Lazy Adam: moments and weights advance only on touched rows."""
@@ -117,3 +118,4 @@ class Adam(Optimizer):
         m_hat = m_rows / (1 - self.beta1 ** t)
         v_hat = v_rows / (1 - self.beta2 ** t)
         param.data[idx] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        param.bump_version()

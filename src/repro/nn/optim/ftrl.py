@@ -85,6 +85,7 @@ class FTRL(Optimizer):
         param.data[...] = np.where(
             mask, -(z - np.sign(z) * self.l1) / denominator, 0.0
         )
+        param.bump_version()
 
     def _update_sparse(self, param: Parameter, grad: SparseGrad) -> None:
         """Lazy FTRL: z/n and the proximal step advance on touched rows only."""
@@ -111,3 +112,4 @@ class FTRL(Optimizer):
         param.data[idx] = np.where(
             mask, -(z_rows - np.sign(z_rows) * self.l1) / denominator, 0.0
         )
+        param.bump_version()

@@ -70,6 +70,7 @@ class SGD(Optimizer):
             velocity += grad
             grad = grad + self.momentum * velocity if self.nesterov else velocity
         param.data -= self.lr * grad
+        param.bump_version()
 
     def _update_sparse(self, param: Parameter, grad: SparseGrad) -> None:
         """Row-wise lazy update on the touched rows only."""
@@ -89,3 +90,4 @@ class SGD(Optimizer):
             velocity[idx] = v_rows
             rows = rows + self.momentum * v_rows if self.nesterov else v_rows
         param.data[idx] -= self.lr * rows
+        param.bump_version()

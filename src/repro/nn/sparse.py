@@ -198,11 +198,27 @@ class SparseGrad:
         return self.to_dense(dtype=dtype)
 
     def add_into(self, dense: np.ndarray) -> np.ndarray:
-        """Scatter-add this gradient into ``dense`` in place."""
+        """Scatter-add this gradient into ``dense`` in place.
+
+        Raises
+        ------
+        ValueError
+            On a shape mismatch, or when ``dense`` overlaps this
+            gradient's row storage — an indexed read-modify-write into a
+            buffer that aliases its own source silently corrupts both.
+        """
         if dense.shape != self.shape:
             raise ValueError(f"shape mismatch: {dense.shape} vs {self.shape}")
         compacted = self.compact()
         if compacted.indices.size:
+            # Bounds-only check: O(1), and a bounds overlap between a
+            # gradient's rows and its accumulation target is already a
+            # buffer-discipline violation in this engine.
+            if np.may_share_memory(dense, compacted.rows):
+                raise ValueError(
+                    "SparseGrad.add_into target aliases the gradient's own "
+                    "row storage; copy one side before accumulating"
+                )
             dense[compacted.indices] += compacted.rows
         return dense
 

@@ -41,6 +41,8 @@ __all__ = [
     "set_default_dtype",
     "get_default_dtype",
     "default_dtype",
+    "set_active_sanitizer",
+    "get_active_sanitizer",
 ]
 
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
@@ -49,6 +51,22 @@ ArrayLike = Union[np.ndarray, float, int, list, tuple]
 # disabled, operations still compute values but record no graph, which makes
 # inference-time scoring allocation-free apart from the numpy work itself.
 _GRAD_ENABLED = True
+
+# Active runtime sanitizer (``repro.analysis.sanitizer.GradSanitizer``) or
+# None.  The engine consults it only at the in-place gradient-accumulation
+# sites; a single ``is not None`` branch keeps the disabled cost at zero.
+_SANITIZER = None
+
+
+def set_active_sanitizer(sanitizer) -> None:
+    """Install (or clear, with ``None``) the engine's runtime sanitizer."""
+    global _SANITIZER
+    _SANITIZER = sanitizer
+
+
+def get_active_sanitizer():
+    """The currently installed runtime sanitizer, or ``None``."""
+    return _SANITIZER
 
 
 class no_grad:
@@ -178,6 +196,8 @@ class Tensor:
         "_backward_fn",
         "_parents",
         "_topo_cache",
+        "_version",
+        "_taint",
     )
 
     def __init__(
@@ -193,6 +213,17 @@ class Tensor:
         self._backward_fn: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
         self._topo_cache: Optional[List["Tensor"]] = None
+        # Mutation counter for ``data``.  Every engine-sanctioned in-place
+        # write (optimizer updates, ``assign_``, ``load_state_dict``,
+        # ``to_dtype``) bumps it; the runtime sanitizer records the version
+        # of every buffer saved for backward and raises if it changed by
+        # the time the gradient function runs.  Counters are per-Tensor:
+        # mutating shared storage through another Tensor (``detach`` shares
+        # data) is only caught by the sanitizer's deep content checks.
+        self._version: int = 0
+        # Non-finite taint record (set by the sanitizer's opt-in NaN/Inf
+        # tracking); names the op that first produced a non-finite value.
+        self._taint = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -230,6 +261,37 @@ class Tensor:
         if self.data.size != 1:
             raise ValueError(f"item() requires a single-element tensor, got {self.shape}")
         return float(self.data.reshape(-1)[0])
+
+    @property
+    def version(self) -> int:
+        """Number of sanctioned in-place mutations of :attr:`data` so far."""
+        return self._version
+
+    def bump_version(self) -> None:
+        """Record that :attr:`data` was mutated (or rebound) in place.
+
+        Every engine code path that writes to a tensor's storage outside
+        the op tape must call this so the runtime sanitizer can detect
+        stale saved-for-backward buffers.
+        """
+        self._version += 1
+
+    @property
+    def taint(self):
+        """Non-finite taint record attached by the sanitizer, or ``None``."""
+        return self._taint
+
+    def assign_(self, value: ArrayLike) -> "Tensor":
+        """Sanctioned in-place overwrite of :attr:`data` (version-tracked).
+
+        The supported way for model code to rewrite a weight buffer
+        (e.g. bias initialisation) without tripping the
+        ``tensor-data-mutation`` lint rule or the runtime sanitizer's
+        out-of-band-write detection.
+        """
+        self.data[...] = value
+        self._version += 1
+        return self
 
     def detach(self) -> "Tensor":
         """Return a tensor sharing the data but cut off from the graph."""
@@ -275,8 +337,12 @@ class Tensor:
             else:
                 self.grad = self.grad + grad  # densifies
         elif isinstance(grad, SparseGrad):
+            if _SANITIZER is not None:
+                _SANITIZER.check_inplace_accumulate(self.grad, grad, self)
             grad.add_into(self.grad)
         else:
+            if _SANITIZER is not None:
+                _SANITIZER.check_inplace_accumulate(self.grad, grad, self)
             self.grad += grad
 
     def zero_grad(self) -> None:
@@ -337,8 +403,12 @@ class Tensor:
                 current_sparse = isinstance(current, SparseGrad)
                 incoming_sparse = isinstance(parent_grad, SparseGrad)
                 if key in owned and not current_sparse and not incoming_sparse:
+                    if _SANITIZER is not None:
+                        _SANITIZER.check_inplace_accumulate(current, parent_grad, parent)
                     current += parent_grad  # reuse the merge buffer
                 elif key in owned and not current_sparse and incoming_sparse:
+                    if _SANITIZER is not None:
+                        _SANITIZER.check_inplace_accumulate(current, parent_grad, parent)
                     parent_grad.add_into(current)
                 elif current_sparse and incoming_sparse:
                     grads[key] = current.merge(parent_grad)

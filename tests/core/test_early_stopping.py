@@ -99,7 +99,7 @@ class TestTrainerIntegration:
             tiny_tmall_world.schema, tiny_tower_config,
             rng=np.random.default_rng(1),
         )
-        model.scoring_head.weight.data[0] = np.nan
+        model.scoring_head.weight.data[0] = np.nan  # repro-lint: disable=ATN001 -- deliberate failure injection: poison a weight to prove the trainer aborts
         trainer = TwoTowerTrainer(epochs=1, batch_size=64)
         with pytest.raises(RuntimeError, match="diverged"):
             trainer.fit(model, train)

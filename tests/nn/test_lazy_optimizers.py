@@ -89,7 +89,7 @@ def test_repeated_ids_in_one_step_sum(rng):
     )
     dense = Parameter(initial.copy())
     grad = np.zeros(shape)
-    np.add.at(grad, np.array([4, 4, 1]), rows)
+    np.add.at(grad, np.array([4, 4, 1]), rows)  # repro-lint: disable=ATN003 -- builds the dense reference the lazy sparse update is checked against
     dense.grad = grad
     SGD([dense], lr=0.5).step()
     np.testing.assert_allclose(lazy.data, dense.data)

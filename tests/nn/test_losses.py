@@ -120,7 +120,7 @@ class TestSimilarityLoss:
         encoded = Tensor(rng.normal(size=(1, 4)))
         before = similarity_loss(generated, encoded).item()
         similarity_loss(generated, encoded).backward()
-        generated.data -= 0.1 * generated.grad
+        generated.data -= 0.1 * generated.grad  # repro-lint: disable=ATN001 -- hand-rolled gradient step; a fresh graph is built right after, so no saved buffer can go stale
         after = similarity_loss(generated, encoded).item()
         assert after < before
 

@@ -87,7 +87,7 @@ class TestStateDict:
     def test_state_dict_copies_data(self):
         block = _Block()
         state = block.state_dict()
-        block.weight.data[0, 0] = 99.0
+        block.weight.data[0, 0] = 99.0  # repro-lint: disable=ATN001 -- mutates the live buffer on purpose to prove state_dict() snapshots are copies
         assert state["weight"][0, 0] != 99.0
 
     def test_missing_key_rejected(self):
