@@ -63,6 +63,36 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--monitor",
+        action="store_true",
+        help=(
+            "arm the online model-quality monitor for the run: streaming "
+            "AUC/calibration over serving outcomes, score-drift detection "
+            "(PSI/KL), cold-start cohort tracking and threshold alerts; "
+            "the summary prints at the end and quality/drift/coldstart/"
+            "alert records land in the --telemetry report"
+        ),
+    )
+    parser.add_argument(
+        "--prometheus-out",
+        type=Path,
+        default=None,
+        help=(
+            "write the final metrics registry in Prometheus text "
+            "exposition format to this path"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help=(
+            "write a Chrome Trace Event Format file (load in "
+            "chrome://tracing or ui.perfetto.dev) of spans and autograd "
+            "ops to this path"
+        ),
+    )
+    parser.add_argument(
         "--log-level",
         default=None,
         choices=["debug", "info", "warning", "error"],
@@ -93,8 +123,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     session: Optional[TelemetrySession] = None
-    if args.telemetry is not None:
-        session = TelemetrySession(label=f"{args.experiment}:{args.preset}")
+    needs_session = (
+        args.telemetry is not None
+        or args.monitor
+        or args.trace_out is not None
+        or args.prometheus_out is not None
+    )
+    if needs_session:
+        session = TelemetrySession(
+            label=f"{args.experiment}:{args.preset}",
+            monitor=args.monitor,
+            trace_events=args.trace_out is not None,
+        )
         session.start()
     sanitizer = None
     if args.sanitize:
@@ -129,8 +169,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         if session is not None:
             session.stop()
-            session.write_jsonl(args.telemetry)
-            print(f"[telemetry report written to {args.telemetry}]")
+            if session.monitor is not None:
+                print(session.monitor.to_text())
+            if args.telemetry is not None:
+                session.write_jsonl(args.telemetry)
+                print(f"[telemetry report written to {args.telemetry}]")
+            if args.prometheus_out is not None:
+                args.prometheus_out.parent.mkdir(parents=True, exist_ok=True)
+                args.prometheus_out.write_text(
+                    session.registry.to_prometheus_text(), encoding="utf-8"
+                )
+                print(f"[prometheus metrics written to {args.prometheus_out}]")
+            if args.trace_out is not None:
+                session.write_chrome_trace(args.trace_out)
+                print(f"[chrome trace written to {args.trace_out}]")
 
 
 if __name__ == "__main__":

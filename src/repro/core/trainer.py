@@ -266,6 +266,11 @@ class _BaseTrainer:
         optimizer.step()
         return value
 
+    def _emit_validation_scores(self, path: str, labels, scores) -> None:
+        """Hand one validation pass's raw (labels, scores) to callbacks."""
+        for callback in self._active_callbacks:
+            callback.on_validation_scores(path, labels, scores)
+
     def _finish_epoch(
         self,
         epoch: int,
@@ -354,8 +359,11 @@ class TwoTowerTrainer(_BaseTrainer):
                         self._on_batch(optimizer, "encoder", {"loss": value})
                 record = {"loss": float(np.mean(losses))}
                 if valid is not None:
-                    record["valid_auc"] = roc_auc(
-                        valid.label(label), model.predict_proba(valid.features)
+                    valid_labels = valid.label(label)
+                    valid_scores = model.predict_proba(valid.features)
+                    record["valid_auc"] = roc_auc(valid_labels, valid_scores)
+                    self._emit_validation_scores(
+                        "encoder", valid_labels, valid_scores
                     )
                     model.train()
                 self._finish_epoch(epoch, record, history)
@@ -452,12 +460,22 @@ class ATNNTrainer(_BaseTrainer):
                     "loss_s": float(np.mean(losses_s)),
                 }
                 if valid is not None:
+                    valid_labels = valid.label(label)
+                    encoder_scores = model.predict_proba(valid.features)
+                    generator_scores = model.predict_proba_cold_start(
+                        valid.features
+                    )
                     record["valid_auc_encoder"] = roc_auc(
-                        valid.label(label), model.predict_proba(valid.features)
+                        valid_labels, encoder_scores
                     )
                     record["valid_auc_generator"] = roc_auc(
-                        valid.label(label),
-                        model.predict_proba_cold_start(valid.features),
+                        valid_labels, generator_scores
+                    )
+                    self._emit_validation_scores(
+                        "encoder", valid_labels, encoder_scores
+                    )
+                    self._emit_validation_scores(
+                        "generator", valid_labels, generator_scores
                     )
                     model.train()
                 self._finish_epoch(epoch, record, history)

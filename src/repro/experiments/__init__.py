@@ -14,8 +14,10 @@ from repro.experiments.retrieval import RetrievalResult, run_retrieval
 from repro.experiments.segmentation import SegmentationResult, run_segmentation
 from repro.experiments.sweeps import SweepPoint, SweepResult, run_atnn_sweep
 from repro.experiments.serving_eval import (
+    MonitoredServingResult,
     ServingEvalResult,
     ServingStage,
+    run_monitored_serving,
     run_serving_eval,
 )
 from repro.experiments.training_curves import TrainingCurves, run_training_curves
@@ -58,8 +60,10 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "run_atnn_sweep",
+    "MonitoredServingResult",
     "ServingEvalResult",
     "ServingStage",
+    "run_monitored_serving",
     "run_serving_eval",
     "TrainingCurves",
     "run_training_curves",

@@ -17,7 +17,7 @@ from repro.experiments.extended_baselines import run_extended_baselines
 from repro.experiments.pipeline import build_eleme_artifacts, build_tmall_artifacts
 from repro.experiments.retrieval import run_retrieval
 from repro.experiments.segmentation import run_segmentation
-from repro.experiments.serving_eval import run_serving_eval
+from repro.experiments.serving_eval import run_monitored_serving, run_serving_eval
 from repro.experiments.training_curves import run_training_curves
 from repro.experiments.transfer import run_transfer
 from repro.experiments.table1 import run_table1
@@ -39,6 +39,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "complexity": run_complexity,
     "extended-baselines": run_extended_baselines,
     "serving-warmup": run_serving_eval,
+    "serving-monitor": run_monitored_serving,
     "retrieval": run_retrieval,
     "segmentation": run_segmentation,
     "training-curves": run_training_curves,

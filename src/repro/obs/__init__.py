@@ -11,15 +11,29 @@ The package provides four composable surfaces:
 * :mod:`repro.obs.callbacks` — the trainer callback interface plus the
   :class:`TelemetryCallback` metrics adapter with divergence monitoring;
 * :mod:`repro.obs.logging` — structured ``key=value`` logging setup;
+* :mod:`repro.obs.quality` — online model-quality monitoring (streaming
+  AUC/ECE, cohort CTR, cold-start lifecycle tracking) with
+  :mod:`repro.obs.drift` score/feature drift detectors and
+  :mod:`repro.obs.alerts` threshold+hysteresis alerting;
 * :mod:`repro.obs.session` — :class:`TelemetrySession`, which activates
   everything at once and renders JSONL/text run reports (the CLI's
-  ``--telemetry`` flag).
+  ``--telemetry`` flag), plus Chrome-trace export.
 
 Only numpy and the standard library are used, and every hook is pay-for-
-what-you-use: with no active registry/tracer/profiler the instrumented
-hot paths skip telemetry entirely.
+what-you-use: with no active registry/tracer/profiler/monitor the
+instrumented hot paths skip telemetry entirely.
 """
 
+from repro.obs.alerts import (
+    Alert,
+    AlertEngine,
+    AlertRule,
+    AlertSink,
+    CallbackSink,
+    JsonlSink,
+    LogSink,
+    Severity,
+)
 from repro.obs.autograd import AutogradProfiler, OpStats
 from repro.obs.callbacks import (
     BatchStats,
@@ -29,6 +43,7 @@ from repro.obs.callbacks import (
     register_global_callback,
     unregister_global_callback,
 )
+from repro.obs.drift import DriftDetector, kl_divergence, psi
 from repro.obs.logging import configure_logging, get_logger, kv
 from repro.obs.metrics import (
     Counter,
@@ -37,7 +52,18 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     get_active_registry,
+    prometheus_metric_name,
     use_registry,
+)
+from repro.obs.quality import (
+    CohortCTR,
+    ColdStartTracker,
+    QualityMonitor,
+    StreamingAUC,
+    WindowedECE,
+    default_quality_rules,
+    get_active_monitor,
+    use_monitor,
 )
 from repro.obs.session import TelemetrySession
 from repro.obs.tracing import (
@@ -48,8 +74,17 @@ from repro.obs.tracing import (
     maybe_span,
     use_tracer,
 )
+from repro.obs.window import SlidingBlocks
 
 __all__ = [
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
+    "AlertSink",
+    "CallbackSink",
+    "JsonlSink",
+    "LogSink",
+    "Severity",
     "AutogradProfiler",
     "OpStats",
     "BatchStats",
@@ -58,6 +93,9 @@ __all__ = [
     "global_callbacks",
     "register_global_callback",
     "unregister_global_callback",
+    "DriftDetector",
+    "kl_divergence",
+    "psi",
     "configure_logging",
     "get_logger",
     "kv",
@@ -67,7 +105,16 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_active_registry",
+    "prometheus_metric_name",
     "use_registry",
+    "CohortCTR",
+    "ColdStartTracker",
+    "QualityMonitor",
+    "StreamingAUC",
+    "WindowedECE",
+    "default_quality_rules",
+    "get_active_monitor",
+    "use_monitor",
     "TelemetrySession",
     "Span",
     "SpanStats",
@@ -75,4 +122,5 @@ __all__ = [
     "get_active_tracer",
     "maybe_span",
     "use_tracer",
+    "SlidingBlocks",
 ]

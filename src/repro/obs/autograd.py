@@ -28,6 +28,7 @@ the original unwrapped methods, so disabled telemetry costs nothing.
 from __future__ import annotations
 
 import functools
+import json
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -90,11 +91,28 @@ _ENABLED_PROFILER: Optional["AutogradProfiler"] = None
 
 
 class AutogradProfiler:
-    """Times every autograd op while enabled; context-manager friendly."""
+    """Times every autograd op while enabled; context-manager friendly.
 
-    def __init__(self) -> None:
+    With ``record_events=True`` the profiler additionally keeps a
+    bounded list of individual op occurrences — ``(label, phase,
+    absolute perf_counter start, duration)`` — exported by
+    :meth:`to_chrome_trace` in the Chrome Trace Event Format.  Event
+    recording is off by default because training loops produce millions
+    of op calls; aggregated :class:`OpStats` are always collected.
+    """
+
+    def __init__(
+        self, record_events: bool = False, max_events: int = 65536
+    ) -> None:
+        if max_events < 0:
+            raise ValueError(f"max_events must be >= 0, got {max_events}")
         self._stats: Dict[str, OpStats] = {}
         self._originals: List[Tuple[str, object]] = []
+        self.record_events = record_events
+        self.max_events = max_events
+        # (label, "forward"|"backward", absolute start, duration).
+        self._events: List[Tuple[str, str, float, float]] = []
+        self.dropped_events = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -105,19 +123,31 @@ class AutogradProfiler:
             stats = self._stats[label] = OpStats(label)
         return stats
 
-    def _record_forward(self, label: str, elapsed: float) -> None:
+    def _record_event(self, label: str, phase: str, start: float, elapsed: float) -> None:
+        if len(self._events) < self.max_events:
+            self._events.append((label, phase, start, elapsed))
+        else:
+            self.dropped_events += 1
+
+    def _record_forward(self, label: str, start: float, elapsed: float) -> None:
         stats = self._op(label)
         stats.calls += 1
         stats.forward_seconds += elapsed
+        if self.record_events:
+            self._record_event(label, "forward", start, elapsed)
 
-    def _record_backward(self, label: str, elapsed: float) -> None:
+    def _record_backward(self, label: str, start: float, elapsed: float) -> None:
         stats = self._op(label)
         stats.backward_calls += 1
         stats.backward_seconds += elapsed
+        if self.record_events:
+            self._record_event(label, "backward", start, elapsed)
 
     def reset(self) -> None:
         """Drop all accumulated statistics."""
         self._stats.clear()
+        self._events.clear()
+        self.dropped_events = 0
 
     # ------------------------------------------------------------------
     # Patching
@@ -129,7 +159,7 @@ class AutogradProfiler:
         def wrapper(*args, **kwargs):
             start = time.perf_counter()
             out = fn(*args, **kwargs)
-            profiler._record_forward(label, time.perf_counter() - start)
+            profiler._record_forward(label, start, time.perf_counter() - start)
             if isinstance(out, Tensor) and out._backward_fn is not None:
                 inner = out._backward_fn
 
@@ -137,7 +167,7 @@ class AutogradProfiler:
                     backward_start = time.perf_counter()
                     result = inner(grad)
                     profiler._record_backward(
-                        label, time.perf_counter() - backward_start
+                        label, backward_start, time.perf_counter() - backward_start
                     )
                     return result
 
@@ -206,6 +236,48 @@ class AutogradProfiler:
                 "backward_seconds": stats.backward_seconds,
                 "total_seconds": stats.total_seconds,
             }
+
+    def chrome_trace_events(
+        self, origin: Optional[float] = None, pid: int = 1, tid: int = 2
+    ) -> List[Dict[str, object]]:
+        """Recorded op occurrences as Trace Event Format ``"X"`` events.
+
+        ``origin`` maps a perf_counter instant to ``ts=0`` (defaults to
+        the earliest recorded start); pass a shared origin to align with
+        a :class:`~repro.obs.tracing.Tracer`'s span events.
+        """
+        if not self._events:
+            return []
+        if origin is None:
+            origin = min(start for _, _, start, _ in self._events)
+        return [
+            {
+                "name": f"{label}.{phase}",
+                "cat": f"autograd.{phase}",
+                "ph": "X",
+                "ts": (start - origin) * 1e6,
+                "dur": elapsed * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": {"op": label, "phase": phase},
+            }
+            for label, phase, start, elapsed in self._events
+        ]
+
+    def earliest_event_start(self) -> Optional[float]:
+        """Earliest recorded perf_counter start (None without events)."""
+        if not self._events:
+            return None
+        return min(start for _, _, start, _ in self._events)
+
+    def to_chrome_trace(self) -> str:
+        """The recorded events as a Chrome/Perfetto-loadable JSON string."""
+        return json.dumps(
+            {
+                "traceEvents": self.chrome_trace_events(),
+                "displayTimeUnit": "ms",
+            }
+        )
 
     def to_text(self) -> str:
         """Per-op breakdown table ordered by total time."""

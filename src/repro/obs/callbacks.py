@@ -80,6 +80,16 @@ class TrainerCallback:
     def on_epoch_end(self, epoch: int, record: Dict[str, float]) -> None:
         pass
 
+    def on_validation_scores(self, path: str, labels, scores) -> None:
+        """Raw held-out (labels, scores) of one validation pass.
+
+        ``path`` names the scoring head (``"encoder"``/``"generator"``).
+        Trainers call this right after computing their validation AUC so
+        quality monitors can derive exact calibration metrics without
+        re-running prediction.
+        """
+        pass
+
     def on_train_end(self, history) -> None:
         pass
 
@@ -190,6 +200,16 @@ class TelemetryCallback(TrainerCallback):
         if registry is not None:
             registry.gauge("trainer.epoch").set(epoch + 1)
         _LOGGER.debug(kv("epoch finished", epoch=epoch, **record))
+
+    def on_validation_scores(self, path: str, labels, scores) -> None:
+        # Route to the active quality monitor (imported lazily: quality
+        # imports alerts which imports metrics; importing quality here at
+        # module top would create a cycle).
+        from repro.obs.quality import get_active_monitor
+
+        monitor = get_active_monitor()
+        if monitor is not None:
+            monitor.observe_validation(path, labels, scores)
 
     # ------------------------------------------------------------------
     def _watch_divergence(

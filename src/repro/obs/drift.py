@@ -1,0 +1,185 @@
+"""Distribution-drift detection between a frozen reference and a live window.
+
+Production CTR systems watch the *distribution* of model scores and key
+features, not just their averages: an embedding refresh that shifts every
+score by a few percent is invisible to a mean but obvious to a
+population-stability index.  This module provides the two standard
+divergences over binned distributions —
+
+* **PSI** (population stability index), the symmetric
+  ``sum((q - p) * ln(q / p))`` that credit-risk and CTR serving stacks
+  alarm on (conventional thresholds: 0.1 "watch", 0.25 "act"); and
+* **KL divergence** ``KL(live || reference)``;
+
+plus :class:`DriftDetector`, which accumulates a *frozen* reference
+window first (warm-up), then maintains a sliding live window and exposes
+both divergences against the reference.  All inputs are binned into
+fixed equal-width bins, so updates are O(batch) and memory is O(bins).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.obs.window import SlidingBlocks
+
+__all__ = ["psi", "kl_divergence", "DriftDetector"]
+
+
+def _smoothed_distributions(
+    reference_counts, live_counts, alpha: float
+) -> "tuple[np.ndarray, np.ndarray]":
+    reference_counts = np.asarray(reference_counts, dtype=float)
+    live_counts = np.asarray(live_counts, dtype=float)
+    if reference_counts.shape != live_counts.shape:
+        raise ValueError(
+            "count vectors must have matching shapes, got "
+            f"{reference_counts.shape} vs {live_counts.shape}"
+        )
+    if reference_counts.sum() <= 0 or live_counts.sum() <= 0:
+        raise ValueError("both count vectors need at least one observation")
+    if alpha <= 0:
+        raise ValueError(f"alpha must be > 0, got {alpha}")
+    p = reference_counts + alpha
+    q = live_counts + alpha
+    return p / p.sum(), q / q.sum()
+
+
+def psi(reference_counts, live_counts, alpha: float = 0.5) -> float:
+    """Population stability index between two binned distributions.
+
+    ``alpha`` is a Laplace smoothing pseudo-count added to every bin so
+    empty bins contribute a finite, smoothly-vanishing term.
+    """
+    p, q = _smoothed_distributions(reference_counts, live_counts, alpha)
+    return float(np.sum((q - p) * np.log(q / p)))
+
+
+def kl_divergence(reference_counts, live_counts, alpha: float = 0.5) -> float:
+    """``KL(live || reference)`` between two binned distributions."""
+    p, q = _smoothed_distributions(reference_counts, live_counts, alpha)
+    return float(np.sum(q * np.log(q / p)))
+
+
+class DriftDetector:
+    """Frozen-reference vs sliding-live-window divergence over one signal.
+
+    The first ``reference_size`` observations build the reference
+    histogram, which then freezes; later observations roll through a
+    sliding window (see :class:`~repro.obs.window.SlidingBlocks`).  Until
+    the reference is frozen *and* the live window holds at least
+    ``min_live`` observations, the detector reports itself not
+    :attr:`ready` and its divergences are ``None`` — the warm-up
+    handling that keeps early noisy windows from paging anyone.
+
+    Parameters
+    ----------
+    n_bins, lo, hi:
+        Equal-width binning of the signal; values outside ``[lo, hi]``
+        clamp into the edge bins.
+    reference_size:
+        Observations accumulated before the reference freezes.
+    window:
+        Live sliding-window span (observations).
+    min_live:
+        Live observations required before divergences are reported.
+    alpha:
+        Laplace smoothing pseudo-count per bin.
+    """
+
+    def __init__(
+        self,
+        n_bins: int = 32,
+        lo: float = 0.0,
+        hi: float = 1.0,
+        reference_size: int = 2000,
+        window: int = 2000,
+        min_live: Optional[int] = None,
+        alpha: float = 0.5,
+    ) -> None:
+        if n_bins < 2:
+            raise ValueError(f"n_bins must be >= 2, got {n_bins}")
+        if not hi > lo:
+            raise ValueError(f"need hi > lo, got [{lo}, {hi}]")
+        if reference_size < 1:
+            raise ValueError(f"reference_size must be >= 1, got {reference_size}")
+        self.n_bins = n_bins
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.reference_size = reference_size
+        self.min_live = min_live if min_live is not None else max(1, window // 4)
+        self.alpha = alpha
+        self._reference = np.zeros(n_bins)
+        self._n_reference = 0
+        self._live = SlidingBlocks((n_bins,), window=window)
+
+    # ------------------------------------------------------------------
+    def _bin(self, values: np.ndarray) -> np.ndarray:
+        scaled = (values - self.lo) / (self.hi - self.lo) * self.n_bins
+        return np.clip(scaled.astype(np.int64), 0, self.n_bins - 1)
+
+    def update(self, values) -> None:
+        """Fold a batch of observations into the detector."""
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            return
+        remaining = self.reference_size - self._n_reference
+        if remaining > 0:
+            head, values = values[:remaining], values[remaining:]
+            self._reference += np.bincount(
+                self._bin(head), minlength=self.n_bins
+            )
+            self._n_reference += head.size
+        if values.size:
+            counts = np.bincount(self._bin(values), minlength=self.n_bins)
+            self._live.add(values.size, counts.astype(float))
+
+    # ------------------------------------------------------------------
+    @property
+    def reference_frozen(self) -> bool:
+        return self._n_reference >= self.reference_size
+
+    @property
+    def n_reference(self) -> int:
+        return self._n_reference
+
+    @property
+    def n_live(self) -> int:
+        return self._live.count
+
+    @property
+    def ready(self) -> bool:
+        """Whether both windows hold enough data to compare."""
+        return self.reference_frozen and self._live.count >= self.min_live
+
+    def psi(self) -> Optional[float]:
+        """Windowed PSI against the reference (None while warming up)."""
+        if not self.ready:
+            return None
+        (live,) = self._live.totals()
+        return psi(self._reference, live, alpha=self.alpha)
+
+    def kl(self) -> Optional[float]:
+        """Windowed ``KL(live || reference)`` (None while warming up)."""
+        if not self.ready:
+            return None
+        (live,) = self._live.totals()
+        return kl_divergence(self._reference, live, alpha=self.alpha)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly state: divergences plus window occupancy."""
+        return {
+            "psi": self.psi(),
+            "kl": self.kl(),
+            "n_reference": self._n_reference,
+            "n_live": self._live.count,
+            "ready": self.ready,
+        }
+
+    def reset_reference(self) -> None:
+        """Re-open the reference window (e.g. after a planned model swap)."""
+        self._reference = np.zeros(self.n_bins)
+        self._n_reference = 0
+        self._live.reset()

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import math
+import re
 import threading
 from typing import Dict, IO, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -41,6 +42,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
     "get_active_registry",
+    "prometheus_metric_name",
     "use_registry",
 ]
 
@@ -172,8 +174,30 @@ class Histogram:
             raise ValueError(f"histogram {self.name!r} has no observations")
         return float(np.percentile(self._sample, 100.0 * q))
 
+    def cumulative_counts(self) -> List[int]:
+        """Prometheus-style cumulative bucket counts (last equals ``count``).
+
+        Entry ``i`` counts every observation ``<= bounds[i]``; the final
+        entry is the implicit ``+inf`` bucket and always equals the total
+        observation count.  Both exporters (:meth:`summary` and
+        :meth:`MetricsRegistry.to_prometheus_text`) derive their
+        cumulative views from this single method so they cannot drift
+        apart.
+        """
+        out: List[int] = []
+        running = 0
+        for count in self.bucket_counts:
+            running += count
+            out.append(running)
+        return out
+
     def summary(self) -> Dict[str, object]:
-        """JSON-friendly snapshot with p50/p90/p99 and bucket counts."""
+        """JSON-friendly snapshot with p50/p90/p99 and bucket counts.
+
+        Each bucket entry carries both the per-bin ``count`` and the
+        Prometheus-convention ``cumulative`` count (observations
+        ``<= le``).
+        """
         empty = self.count == 0
         return {
             "count": self.count,
@@ -184,13 +208,30 @@ class Histogram:
             "p90": None if empty else self.quantile(0.90),
             "p99": None if empty else self.quantile(0.99),
             "buckets": [
-                {"le": bound, "count": count}
-                for bound, count in zip(self.bounds + (math.inf,), self.bucket_counts)
+                {"le": bound, "count": count, "cumulative": cumulative}
+                for bound, count, cumulative in zip(
+                    self.bounds + (math.inf,),
+                    self.bucket_counts,
+                    self.cumulative_counts(),
+                )
             ],
         }
 
 
 Instrument = Union[Counter, Gauge, Histogram]
+
+
+def prometheus_metric_name(name: str) -> str:
+    """Sanitise a dotted metric name into a valid Prometheus identifier.
+
+    Prometheus names must match ``[a-zA-Z_:][a-zA-Z0-9_:]*``; every other
+    character (the registry's dots, dashes in cohort names, ...) becomes
+    an underscore, and a leading digit gains a ``_`` prefix.
+    """
+    sanitised = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not sanitised or not re.match(r"[a-zA-Z_:]", sanitised[0]):
+        sanitised = "_" + sanitised
+    return sanitised
 
 
 class MetricsRegistry:
@@ -297,6 +338,43 @@ class MetricsRegistry:
             else:
                 lines.append(f"{name} gauge value={instrument.value:.6g}")
         return "\n".join(lines)
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus text exposition format (version 0.0.4).
+
+        Metric names are sanitised with :func:`prometheus_metric_name`
+        (dots become underscores, invalid leading characters are
+        prefixed), histograms emit the conventional cumulative
+        ``_bucket{le="..."}`` series plus ``_sum`` and ``_count``, and
+        every metric carries ``# HELP``/``# TYPE`` headers.
+        """
+        lines: List[str] = []
+        for name in self.names():
+            instrument = self._instruments[name]
+            metric = prometheus_metric_name(name)
+            help_text = instrument.help or name
+            if isinstance(instrument, Histogram):
+                lines.append(f"# HELP {metric} {help_text}")
+                lines.append(f"# TYPE {metric} histogram")
+                bounds = instrument.bounds + (math.inf,)
+                for bound, cumulative in zip(
+                    bounds, instrument.cumulative_counts()
+                ):
+                    label = "+Inf" if math.isinf(bound) else repr(float(bound))
+                    lines.append(
+                        f'{metric}_bucket{{le="{label}"}} {cumulative}'
+                    )
+                lines.append(f"{metric}_sum {instrument.sum!r}")
+                lines.append(f"{metric}_count {instrument.count}")
+            elif isinstance(instrument, Counter):
+                lines.append(f"# HELP {metric} {help_text}")
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric} {instrument.value!r}")
+            else:
+                lines.append(f"# HELP {metric} {help_text}")
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {instrument.value!r}")
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def write_jsonl(self, destination: Union[str, "IO[str]"], *, extra=()) -> None:
         """Write one JSON object per line: ``extra`` records then metrics."""

@@ -16,7 +16,9 @@ True
 
 The JSONL report is one JSON object per line, discriminated by ``type``:
 ``meta``, ``epoch``, ``counter``, ``gauge``, ``histogram``,
-``autograd_op`` and ``span`` (see ``docs/observability.md``).
+``autograd_op``, ``span`` and — when a quality monitor is attached —
+``quality``, ``drift``, ``coldstart`` and ``alert`` (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ from repro.obs.callbacks import (
 )
 from repro.obs.logging import get_logger, kv
 from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.quality import QualityMonitor, use_monitor
 from repro.obs.tracing import Tracer, use_tracer
 
 __all__ = ["TelemetrySession"]
@@ -50,6 +53,7 @@ _STANDARD_COUNTERS = (
     "store.events_ingested",
     "trainer.batches",
     "trainer.divergence_warning",
+    "alerts.fired",
 )
 
 
@@ -65,6 +69,16 @@ class TelemetrySession:
         the session is open; out-of-session code is never affected).
     label:
         Free-form run label recorded in the report's ``meta`` line.
+    monitor:
+        Attach a model-quality monitor (see
+        :class:`~repro.obs.quality.QualityMonitor`): ``True`` builds one
+        with defaults, or pass a configured instance.  The monitor is
+        activated alongside the registry, so instrumented serving code
+        and trainer validation hooks report into it.
+    trace_events:
+        Record individual span/op occurrences for
+        :meth:`write_chrome_trace` (spans always record; autograd op
+        events additionally need ``profile_autograd``).
     """
 
     def __init__(
@@ -72,16 +86,29 @@ class TelemetrySession:
         registry: Optional[MetricsRegistry] = None,
         profile_autograd: bool = True,
         label: str = "",
+        monitor: Union[bool, QualityMonitor, None] = None,
+        trace_events: bool = True,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
-        self.tracer = Tracer()
-        self.profiler = AutogradProfiler() if profile_autograd else None
+        self.tracer = Tracer(record_events=trace_events)
+        self.profiler = (
+            AutogradProfiler(record_events=trace_events)
+            if profile_autograd
+            else None
+        )
         self.callback = TelemetryCallback(self.registry)
+        if monitor is None or monitor is False:
+            self.monitor: Optional[QualityMonitor] = None
+        elif monitor is True:
+            self.monitor = QualityMonitor()
+        else:
+            self.monitor = monitor
         self.label = label
         self._started_unix: Optional[float] = None
         self._stopped_unix: Optional[float] = None
         self._registry_scope: Optional[use_registry] = None
         self._tracer_scope: Optional[use_tracer] = None
+        self._monitor_scope: Optional[use_monitor] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -95,6 +122,9 @@ class TelemetrySession:
         self._registry_scope.__enter__()
         self._tracer_scope = use_tracer(self.tracer)
         self._tracer_scope.__enter__()
+        if self.monitor is not None:
+            self._monitor_scope = use_monitor(self.monitor)
+            self._monitor_scope.__enter__()
         register_global_callback(self.callback)
         if self.profiler is not None:
             self.profiler.enable()
@@ -110,6 +140,9 @@ class TelemetrySession:
         if self.profiler is not None:
             self.profiler.disable()
         unregister_global_callback(self.callback)
+        if self._monitor_scope is not None:
+            self._monitor_scope.__exit__(None, None, None)
+            self._monitor_scope = None
         if self._tracer_scope is not None:
             self._tracer_scope.__exit__(None, None, None)
             self._tracer_scope = None
@@ -152,6 +185,33 @@ class TelemetrySession:
             out = {"type": "span"}
             out.update(record)
             yield out
+        if self.monitor is not None:
+            for record in self.monitor.iter_records():
+                yield dict(record)  # carries its own "type" discriminator
+
+    def write_chrome_trace(self, destination: Union[str, Path]) -> None:
+        """Write span + autograd op events as one Chrome/Perfetto trace.
+
+        Both event sources share a common time origin (the earliest
+        recorded start across either), so their timelines line up; spans
+        render on ``tid=1`` and autograd ops on ``tid=2``.
+        """
+        starts = [
+            start
+            for start in (
+                self.tracer.earliest_event_start(),
+                self.profiler.earliest_event_start() if self.profiler else None,
+            )
+            if start is not None
+        ]
+        origin = min(starts) if starts else None
+        events = self.tracer.chrome_trace_events(origin=origin)
+        if self.profiler is not None:
+            events.extend(self.profiler.chrome_trace_events(origin=origin))
+        payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+        destination = Path(destination)
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        destination.write_text(json.dumps(payload), encoding="utf-8")
 
     def write_jsonl(self, destination: Union[str, "IO[str]"]) -> None:
         """Dump the run report, one JSON object per line."""
@@ -180,4 +240,6 @@ class TelemetrySession:
         if spans_text:
             lines.append("  spans:")
             lines.extend("    " + line for line in spans_text.splitlines())
+        if self.monitor is not None:
+            lines.extend("  " + line for line in self.monitor.to_text().splitlines())
         return "\n".join(lines)

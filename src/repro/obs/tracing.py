@@ -20,10 +20,11 @@ context manager when tracing is off.
 
 from __future__ import annotations
 
+import json
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["SpanStats", "Span", "Tracer", "get_active_tracer", "use_tracer", "maybe_span"]
 
@@ -66,17 +67,35 @@ class Span:
     def __exit__(self, exc_type, exc_value, traceback) -> None:
         if self._start is None:
             return
-        self.elapsed = time.perf_counter() - self._start
+        start = self._start
+        self.elapsed = time.perf_counter() - start
         self._start = None
-        self._tracer._pop(self.path, self.elapsed)
+        self._tracer._pop(self.path, start, self.elapsed)
 
 
 class Tracer:
-    """Collects :class:`SpanStats` keyed by nested span path."""
+    """Collects :class:`SpanStats` keyed by nested span path.
 
-    def __init__(self) -> None:
+    With ``record_events=True`` (the default) the tracer additionally
+    keeps a bounded list of individual span occurrences — ``(path,
+    absolute perf_counter start, duration)`` — which
+    :meth:`to_chrome_trace` exports in the Chrome Trace Event Format
+    (load the file in ``chrome://tracing`` or https://ui.perfetto.dev).
+    Recording stops silently once ``max_events`` occurrences have been
+    kept; :attr:`dropped_events` counts the overflow.  Aggregated
+    :class:`SpanStats` are unaffected by the cap.
+    """
+
+    def __init__(self, record_events: bool = True, max_events: int = 65536) -> None:
+        if max_events < 0:
+            raise ValueError(f"max_events must be >= 0, got {max_events}")
         self._stats: Dict[str, SpanStats] = {}
         self._stack: List[str] = []
+        self.record_events = record_events
+        self.max_events = max_events
+        # (path, absolute perf_counter start, duration) per occurrence.
+        self._events: List[Tuple[str, float, float]] = []
+        self.dropped_events = 0
 
     def span(self, name: str) -> Span:
         """A context manager timing ``name`` nested under any open spans."""
@@ -87,10 +106,15 @@ class Tracer:
         self._stack.append(path)
         return path
 
-    def _pop(self, path: str, elapsed: float) -> None:
+    def _pop(self, path: str, start: float, elapsed: float) -> None:
         if self._stack and self._stack[-1] == path:
             self._stack.pop()
         self._stats.setdefault(path, SpanStats()).record(elapsed)
+        if self.record_events:
+            if len(self._events) < self.max_events:
+                self._events.append((path, start, elapsed))
+            else:
+                self.dropped_events += 1
 
     def stats(self, path: str) -> SpanStats:
         """Aggregated stats for one span path (KeyError if never entered)."""
@@ -123,6 +147,52 @@ class Tracer:
                 + f"calls={record['calls']} total={record['total_seconds']:.6g}s"
             )
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Chrome Trace Event Format export
+    # ------------------------------------------------------------------
+    def chrome_trace_events(
+        self, origin: Optional[float] = None, pid: int = 1, tid: int = 1
+    ) -> List[Dict[str, object]]:
+        """Recorded occurrences as Trace Event Format ``"X"`` events.
+
+        ``origin`` is the perf_counter instant mapped to ``ts=0``; it
+        defaults to the earliest recorded start, and callers merging
+        several event sources (e.g. a tracer plus an autograd profiler)
+        pass a shared origin so the timelines align.
+        """
+        if not self._events:
+            return []
+        if origin is None:
+            origin = min(start for _, start, _ in self._events)
+        return [
+            {
+                "name": path.rsplit("/", 1)[-1],
+                "cat": "span",
+                "ph": "X",
+                "ts": (start - origin) * 1e6,
+                "dur": elapsed * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": {"path": path},
+            }
+            for path, start, elapsed in self._events
+        ]
+
+    def earliest_event_start(self) -> Optional[float]:
+        """Earliest recorded perf_counter start (None without events)."""
+        if not self._events:
+            return None
+        return min(start for _, start, _ in self._events)
+
+    def to_chrome_trace(self) -> str:
+        """The recorded events as a Chrome/Perfetto-loadable JSON string."""
+        return json.dumps(
+            {
+                "traceEvents": self.chrome_trace_events(),
+                "displayTimeUnit": "ms",
+            }
+        )
 
 
 # ----------------------------------------------------------------------

@@ -30,8 +30,9 @@ from repro.data.schema import GROUP_ITEM_PROFILE, GROUP_ITEM_STAT, GROUP_USER
 from repro.data.synthetic.common import sigmoid
 from repro.nn.tensor import no_grad
 from repro.obs.metrics import get_active_registry
+from repro.obs.quality import get_active_monitor
 from repro.obs.tracing import maybe_span
-from repro.serving.events import Event
+from repro.serving.events import Event, event_columns
 from repro.serving.feature_store import ItemStatisticsStore
 
 __all__ = ["EngineConfig", "RealTimeEngine"]
@@ -106,21 +107,41 @@ class RealTimeEngine:
     # ------------------------------------------------------------------
     def ingest(self, events: Sequence[Event]) -> int:
         """Apply a batch of behaviour events; scores become stale."""
-        applied = self.store.ingest(events)
+        # One columnar pass over the python event objects, shared by the
+        # store, the dirty-slot bookkeeping, and the quality monitor.
+        columns = event_columns(events)
+        applied = self.store.ingest(events, columns=columns)
         self._events_seen += applied
-        for event in events:
-            self._dirty.add(int(event.item_id))
+        if applied:
+            self._dirty.update(np.unique(columns[1]).tolist())
         self._fresh = False
         self._order = None
         registry = get_active_registry()
         if registry is not None:
             registry.counter("engine.events_ingested").inc(applied)
+        monitor = get_active_monitor()
+        if monitor is not None:
+            # The scores these outcomes were served against are the ones
+            # from the last refresh (None before the first refresh, in
+            # which case only cohorts/lifecycle update).
+            monitor.attach_catalogue(
+                len(self.catalogue), self.config.warm_view_threshold
+            )
+            monitor.observe_serving_batch(
+                events, scores=self._scores, columns=columns
+            )
         return applied
 
     @property
     def events_seen(self) -> int:
         """Total events ingested."""
         return self._events_seen
+
+    @property
+    def last_scores(self) -> Optional[np.ndarray]:
+        """Scores from the most recent refresh (None before the first);
+        never triggers a refresh, unlike :meth:`scores`."""
+        return self._scores
 
     @property
     def refreshes(self) -> int:
@@ -217,6 +238,15 @@ class RealTimeEngine:
             registry.histogram("engine.refresh_seconds").observe(
                 time.perf_counter() - start
             )
+        monitor = get_active_monitor()
+        if monitor is not None:
+            monitor.attach_catalogue(n, self.config.warm_view_threshold)
+            monitor.observe_scores(self._scores)
+            if stale.size:
+                monitor.observe_divergence(
+                    stale, self._generator_vectors[stale], item_vectors[stale]
+                )
+            monitor.evaluate()
         return self._scores
 
     def scores(self) -> np.ndarray:

@@ -10,14 +10,24 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
 from repro.obs.metrics import get_active_registry
-from repro.serving.events import Event, EventKind
+from repro.serving.events import (
+    KIND_CODES,
+    Event,
+    EventKind,
+    event_columns,
+)
 
 __all__ = ["ItemCounters", "ItemStatisticsStore"]
+
+# (slot, user) pairs are packed into one int64 key so unique-visitor
+# bookkeeping stays vectorised; user -1 (None) never reaches the key.
+_USER_SHIFT = np.int64(32)
+_USER_MASK = np.int64((1 << 32) - 1)
 
 
 @dataclass
@@ -76,21 +86,51 @@ class ItemStatisticsStore:
         if n_slots <= 0:
             raise ValueError(f"n_slots must be positive, got {n_slots}")
         self.n_slots = n_slots
-        self._counters: List[ItemCounters] = [ItemCounters() for _ in range(n_slots)]
+        # One row per event kind (KIND_CODES order), one column per slot.
+        self._counts = np.zeros((len(EventKind.ALL), n_slots), dtype=np.int64)
+        self._unique_users = np.zeros(n_slots, dtype=np.int64)
+        self._seen_pairs = np.empty(0, dtype=np.int64)  # sorted packed keys
 
     # ------------------------------------------------------------------
-    def ingest(self, events: Sequence[Event]) -> int:
-        """Apply a batch of events; returns how many were applied."""
+    def ingest(self, events: Sequence[Event], columns=None) -> int:
+        """Apply a batch of events; returns how many were applied.
+
+        ``columns`` optionally carries the precomputed
+        :func:`~repro.serving.events.event_columns` decomposition so the
+        engine's single pass over the python event objects is shared with
+        every other columnar consumer (quality monitor, outcome joins).
+        """
         start = time.perf_counter()
-        applied = 0
-        for event in events:
-            if event.item_id >= self.n_slots:
+        if columns is None:
+            columns = event_columns(events)
+        kinds, items, users, _ = columns
+        applied = int(items.size)
+        if applied:
+            top_slot = int(items.max())
+            if top_slot >= self.n_slots:
                 raise IndexError(
-                    f"event references slot {event.item_id}, store has "
+                    f"event references slot {top_slot}, store has "
                     f"{self.n_slots} slots"
                 )
-            self._counters[event.item_id].update(event)
-            applied += 1
+            flat = np.bincount(
+                kinds * self.n_slots + items, minlength=self._counts.size
+            )
+            self._counts += flat.reshape(self._counts.shape)
+            acting = users >= 0
+            if acting.any():
+                keys = (items[acting] << _USER_SHIFT) | (users[acting] + 1)
+                fresh = np.unique(keys)
+                if self._seen_pairs.size:
+                    fresh = fresh[
+                        ~np.isin(fresh, self._seen_pairs, assume_unique=True)
+                    ]
+                if fresh.size:
+                    self._unique_users += np.bincount(
+                        fresh >> _USER_SHIFT, minlength=self.n_slots
+                    )
+                    self._seen_pairs = np.sort(
+                        np.concatenate([self._seen_pairs, fresh])
+                    )
         registry = get_active_registry()
         if registry is not None and applied:
             elapsed = time.perf_counter() - start
@@ -101,12 +141,22 @@ class ItemStatisticsStore:
         return applied
 
     def counters(self, slot: int) -> ItemCounters:
-        """Raw counters for one slot."""
-        return self._counters[slot]
+        """Raw counters for one slot (materialised read view)."""
+        column = self._counts[:, slot]  # IndexError on out-of-range slots
+        slot = int(slot) % self.n_slots
+        pairs = self._seen_pairs[(self._seen_pairs >> _USER_SHIFT) == slot]
+        return ItemCounters(
+            views=int(column[KIND_CODES[EventKind.VIEW]]),
+            clicks=int(column[KIND_CODES[EventKind.CLICK]]),
+            carts=int(column[KIND_CODES[EventKind.CART]]),
+            favorites=int(column[KIND_CODES[EventKind.FAVORITE]]),
+            purchases=int(column[KIND_CODES[EventKind.PURCHASE]]),
+            unique_users={int(key & _USER_MASK) - 1 for key in pairs},
+        )
 
     def views(self) -> np.ndarray:
         """View counts per slot."""
-        return np.array([c.views for c in self._counters], dtype=np.int64)
+        return self._counts[KIND_CODES[EventKind.VIEW]].copy()
 
     def warm_slots(self, min_views: int = 20) -> np.ndarray:
         """Slots with enough traffic for statistics-based scoring."""
@@ -117,22 +167,24 @@ class ItemStatisticsStore:
     # ------------------------------------------------------------------
     def _raw_matrix(self) -> np.ndarray:
         """Raw (pre-standardisation) statistic matrix, one row per slot."""
-        rows = np.zeros((self.n_slots, len(self.STAT_COLUMNS)))
-        all_ctr = [c.ctr for c in self._counters if c.views]
-        category_ctr = float(np.mean(all_ctr)) if all_ctr else 0.0
-        for slot, counter in enumerate(self._counters):
-            views = max(counter.views, 1)
-            rows[slot] = (
-                np.log1p(counter.views),
-                np.log1p(len(counter.unique_users)),
-                counter.ctr,
-                counter.carts / views,
-                counter.favorites / views,
-                counter.purchases / views,
-                np.log1p(counter.views),  # seller aggregate proxy
-                category_ctr,
+        views = self._counts[KIND_CODES[EventKind.VIEW]]
+        safe_views = np.maximum(views, 1)
+        ctr = self._counts[KIND_CODES[EventKind.CLICK]] / safe_views
+        trafficked = views > 0
+        category_ctr = float(ctr[trafficked].mean()) if trafficked.any() else 0.0
+        log_pv = np.log1p(views)
+        return np.column_stack(
+            (
+                log_pv,
+                np.log1p(self._unique_users),
+                ctr,
+                self._counts[KIND_CODES[EventKind.CART]] / safe_views,
+                self._counts[KIND_CODES[EventKind.FAVORITE]] / safe_views,
+                self._counts[KIND_CODES[EventKind.PURCHASE]] / safe_views,
+                log_pv,  # seller aggregate proxy
+                np.full(self.n_slots, category_ctr),
             )
-        return rows
+        )
 
     def feature_columns(self, slots: Sequence[int]) -> Dict[str, np.ndarray]:
         """Standardised statistic columns for the requested slots.

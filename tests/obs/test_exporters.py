@@ -1,0 +1,155 @@
+"""Prometheus text and Chrome-trace exporters."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    AutogradProfiler,
+    Histogram,
+    MetricsRegistry,
+    TelemetrySession,
+    Tracer,
+    prometheus_metric_name,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestPrometheusNameSanitization:
+    def test_dots_and_dashes_become_underscores(self):
+        assert prometheus_metric_name("engine.refresh_seconds") == (
+            "engine_refresh_seconds"
+        )
+        assert prometheus_metric_name("quality.ctr.cold-start") == (
+            "quality_ctr_cold_start"
+        )
+
+    def test_leading_digit_prefixed(self):
+        assert prometheus_metric_name("95th.latency").startswith("_")
+
+    def test_valid_names_untouched(self):
+        assert prometheus_metric_name("already_valid:name") == (
+            "already_valid:name"
+        )
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.refreshes", help="refresh count").inc(3)
+        registry.gauge("quality.streaming_auc").set(0.7)
+        text = registry.to_prometheus_text()
+        assert "# TYPE engine_refreshes counter" in text
+        assert "# HELP engine_refreshes refresh count" in text
+        assert "engine_refreshes 3.0" in text
+        assert "# TYPE quality_streaming_auc gauge" in text
+        assert "quality_streaming_auc 0.7" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat.s", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        text = registry.to_prometheus_text()
+        assert 'lat_s_bucket{le="0.1"} 1' in text
+        assert 'lat_s_bucket{le="1.0"} 3' in text
+        assert 'lat_s_bucket{le="+Inf"} 4' in text
+        assert "lat_s_count 4" in text
+
+    def test_cumulative_consistent_with_summary(self):
+        # The small fix: text/JSON summary and Prometheus exposition must
+        # agree on cumulative bucket counts.
+        histogram = Histogram("h", buckets=(1.0, 2.0, 3.0))
+        for value in (0.5, 1.5, 1.7, 2.5, 9.0):
+            histogram.observe(value)
+        cumulative = histogram.cumulative_counts()
+        assert cumulative == [1, 3, 4, 5]
+        assert cumulative[-1] == histogram.count
+        summary = histogram.summary()
+        assert [b["cumulative"] for b in summary["buckets"]] == cumulative
+        # Per-bin counts still there and still non-cumulative.
+        assert [b["count"] for b in summary["buckets"]] == [1, 2, 1, 1]
+        assert summary["buckets"][-1]["le"] == math.inf
+
+
+class TestTracerChromeTrace:
+    def test_events_recorded_and_exported(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        payload = json.loads(tracer.to_chrome_trace())
+        events = payload["traceEvents"]
+        assert {event["name"] for event in events} == {"outer", "inner"}
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+        by_name = {event["name"]: event for event in events}
+        assert by_name["inner"]["args"]["path"] == "outer/inner"
+        # The child starts after (or with) its parent.
+        assert by_name["inner"]["ts"] >= by_name["outer"]["ts"]
+
+    def test_max_events_cap(self):
+        tracer = Tracer(max_events=2)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        assert len(json.loads(tracer.to_chrome_trace())["traceEvents"]) == 2
+        assert tracer.dropped_events == 3
+        # Aggregates are unaffected by the cap.
+        assert tracer.stats("s").calls == 5
+
+    def test_recording_disabled(self):
+        tracer = Tracer(record_events=False)
+        with tracer.span("s"):
+            pass
+        assert json.loads(tracer.to_chrome_trace())["traceEvents"] == []
+        assert tracer.stats("s").calls == 1
+
+
+class TestAutogradChromeTrace:
+    def test_forward_and_backward_events(self):
+        with AutogradProfiler(record_events=True) as profiler:
+            loss = (Tensor([[1.0, 2.0]], requires_grad=True) * 3.0).sum()
+            loss.backward()
+        payload = json.loads(profiler.to_chrome_trace())
+        categories = {event["cat"] for event in payload["traceEvents"]}
+        assert "autograd.forward" in categories
+        assert "autograd.backward" in categories
+        ops = {event["args"]["op"] for event in payload["traceEvents"]}
+        assert {"mul", "sum"} <= ops
+
+    def test_events_off_by_default(self):
+        with AutogradProfiler() as profiler:
+            (Tensor([[1.0]], requires_grad=True) * 2.0).sum().backward()
+        assert json.loads(profiler.to_chrome_trace())["traceEvents"] == []
+        assert profiler.report()["mul"].calls == 1
+
+
+class TestSessionChromeTrace:
+    def test_merged_trace_shares_origin(self, tmp_path):
+        path = tmp_path / "trace.json"
+        with TelemetrySession(profile_autograd=True) as session:
+            with session.tracer.span("step"):
+                (Tensor([[1.0]], requires_grad=True) * 2.0).sum().backward()
+        session.write_chrome_trace(path)
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        tids = {event["tid"] for event in events}
+        assert tids == {1, 2}  # spans and autograd ops
+        assert min(event["ts"] for event in events) == pytest.approx(0.0)
+        # The autograd ops happen inside the span.
+        span = next(e for e in events if e["tid"] == 1)
+        for op_event in (e for e in events if e["tid"] == 2):
+            assert op_event["ts"] >= span["ts"]
+
+    def test_empty_session_writes_valid_trace(self, tmp_path):
+        path = tmp_path / "empty.json"
+        session = TelemetrySession(profile_autograd=False)
+        with session:
+            pass
+        session.write_chrome_trace(path)
+        assert json.loads(path.read_text())["traceEvents"] == []

@@ -1,0 +1,315 @@
+"""Streaming quality estimators and the QualityMonitor façade."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.auc import roc_auc
+from repro.metrics.classification import calibration_error
+from repro.obs import (
+    AlertRule,
+    CohortCTR,
+    ColdStartTracker,
+    MetricsRegistry,
+    QualityMonitor,
+    SlidingBlocks,
+    StreamingAUC,
+    WindowedECE,
+    default_quality_rules,
+    get_active_monitor,
+    use_monitor,
+    use_registry,
+)
+from repro.serving.events import Event, EventKind, join_click_outcomes
+
+
+def _outcome_stream(n, rng, signal=0.2):
+    labels = rng.integers(0, 2, n).astype(float)
+    scores = np.clip(rng.normal(0.4 + signal * labels, 0.15), 0.0, 1.0)
+    return labels, scores
+
+
+class TestSlidingBlocks:
+    def test_cumulative_mode_keeps_everything(self):
+        blocks = SlidingBlocks((4,))
+        for _ in range(100):
+            blocks.add(10, np.ones(4))
+        assert blocks.count == 1000
+        (total,) = blocks.totals()
+        assert total.tolist() == [100.0] * 4
+
+    def test_window_evicts_old_blocks(self):
+        blocks = SlidingBlocks((2,), window=100, block_size=10)
+        for _ in range(50):
+            blocks.add(10, np.array([1.0, 0.0]))
+        # Retained span stays within [window, window + block).
+        assert 100 <= blocks.count < 110
+        assert blocks.total_seen == 500
+
+    def test_totals_are_fresh_copies(self):
+        blocks = SlidingBlocks((2,))
+        blocks.add(1, np.array([1.0, 2.0]))
+        (first,) = blocks.totals()
+        first += 100
+        (second,) = blocks.totals()
+        assert second.tolist() == [1.0, 2.0]
+
+
+class TestStreamingAUC:
+    def test_matches_exact_auc_on_50k_stream(self):
+        rng = np.random.default_rng(7)
+        labels, scores = _outcome_stream(50_000, rng)
+        estimator = StreamingAUC()
+        for start in range(0, labels.size, 1000):
+            estimator.update(
+                labels[start : start + 1000], scores[start : start + 1000]
+            )
+        exact = roc_auc(labels, scores)
+        assert estimator.value == pytest.approx(exact, abs=0.01)
+        # With 512 bins it should actually be far tighter than the contract.
+        assert abs(estimator.value - exact) < 1e-3
+
+    def test_single_class_returns_none(self):
+        estimator = StreamingAUC()
+        estimator.update([1.0, 1.0], [0.5, 0.7])
+        assert estimator.value is None
+        estimator.update([0.0], [0.2])
+        assert estimator.value is not None
+
+    def test_windowed_forgets_old_regime(self):
+        rng = np.random.default_rng(3)
+        estimator = StreamingAUC(window=5000)
+        # First regime: anti-correlated scores (AUC < 0.5).
+        labels, scores = _outcome_stream(10_000, rng, signal=-0.2)
+        estimator.update(labels, scores)
+        assert estimator.value < 0.5
+        # Second regime fills the whole window: good scores.
+        labels, scores = _outcome_stream(10_000, rng, signal=0.2)
+        estimator.update(labels, scores)
+        assert estimator.value > 0.7
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingAUC().update([1.0, 0.0], [0.5])
+
+
+class TestWindowedECE:
+    def test_matches_exact_calibration_error_on_full_window(self):
+        rng = np.random.default_rng(11)
+        labels, scores = _outcome_stream(20_000, rng)
+        estimator = WindowedECE(n_bins=10)
+        for start in range(0, labels.size, 512):
+            estimator.update(
+                labels[start : start + 512], scores[start : start + 512]
+            )
+        exact = calibration_error(labels, scores, n_bins=10)
+        assert estimator.value == pytest.approx(exact, abs=1e-12)
+
+    def test_empty_returns_none(self):
+        assert WindowedECE().value is None
+
+    def test_perfectly_calibrated_is_near_zero(self):
+        rng = np.random.default_rng(5)
+        probabilities = rng.uniform(0.0, 1.0, 30_000)
+        labels = (rng.uniform(size=probabilities.size) < probabilities).astype(
+            float
+        )
+        estimator = WindowedECE()
+        estimator.update(labels, probabilities)
+        assert estimator.value < 0.02
+
+
+class TestCohortCTR:
+    def test_per_cohort_rates(self):
+        ctr = CohortCTR()
+        ctr.record("cold", 100, 10)
+        ctr.record("warm", 200, 50)
+        ctr.record("cold", 100, 30)
+        assert ctr.ctr("cold") == pytest.approx(0.2)
+        assert ctr.ctr("warm") == pytest.approx(0.25)
+        assert ctr.ctr("unknown") is None
+        snapshot = ctr.snapshot()
+        assert snapshot["cold"]["impressions"] == 200
+        assert snapshot["cold"]["clicks"] == 40
+
+    def test_windowed_rotation(self):
+        ctr = CohortCTR(window=100, block_size=50)
+        ctr.record("a", 100, 0)
+        ctr.record("a", 100, 100)
+        ctr.record("a", 100, 100)
+        # The zero-click era has rotated out.
+        assert ctr.ctr("a") > 0.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CohortCTR().record("a", -1, 0)
+
+
+class TestColdStartTracker:
+    def test_lifecycle_accounting(self):
+        tracker = ColdStartTracker(n_slots=5, warm_view_threshold=3)
+        tracker.note_release(0, 10.0)
+        items = np.array([0, 0, 0, 1])
+        times = np.array([12.0, 13.0, 14.0, 20.0])
+        assert tracker.cold_mask(items).all()
+        tracker.observe_impressions(items, times)
+        assert tracker.items_seen == 2
+        assert tracker.warm_items == 1  # slot 0 crossed threshold 3
+        assert not tracker.cold_mask(np.array([0]))[0]
+        assert tracker.cold_mask(np.array([1]))[0]
+        summary = tracker.summary()
+        assert summary["time_to_first_impression"]["mean"] >= 0
+        assert summary["impressions_until_warm"]["mean"] == pytest.approx(3.0)
+
+    def test_first_impression_not_overwritten(self):
+        tracker = ColdStartTracker(n_slots=2, warm_view_threshold=10)
+        tracker.observe_impressions(np.array([0]), np.array([5.0]))
+        tracker.observe_impressions(np.array([0]), np.array([50.0]))
+        assert tracker.summary()["time_to_first_impression"]["mean"] == 5.0
+
+    def test_divergence_summary(self):
+        tracker = ColdStartTracker(n_slots=4)
+        tracker.observe_divergence(np.array([0, 1]), np.array([0.1, 0.3]))
+        assert tracker.divergence_mean() == pytest.approx(0.2)
+        stats = tracker.summary()["vector_divergence"]
+        assert stats["max"] == pytest.approx(0.3)
+
+
+class TestQualityMonitor:
+    def _batch(self, item, user, t, clicked):
+        events = [Event(EventKind.VIEW, item, user, t)]
+        if clicked:
+            events.append(Event(EventKind.CLICK, item, user, t + 1.0))
+        return events
+
+    def test_observe_serving_batch_updates_everything(self):
+        monitor = QualityMonitor(min_outcomes=1)
+        monitor.attach_catalogue(10, warm_view_threshold=2)
+        scores = np.linspace(0.05, 0.95, 10)
+        rng = np.random.default_rng(0)
+        events = []
+        for i in range(500):
+            item = int(rng.integers(0, 10))
+            clicked = rng.uniform() < scores[item]
+            events.extend(self._batch(item, i, float(i), clicked))
+        monitor.observe_serving_batch(events, scores=scores)
+        snapshot = monitor.snapshot()
+        assert snapshot["quality.streaming_auc"] > 0.6
+        assert snapshot["quality.impressions"] == 500.0
+        assert "quality.ctr.cold" in snapshot or "quality.ctr.warm" in snapshot
+        assert monitor.cold_start.items_seen == 10
+
+    def test_streaming_matches_exact_through_event_pipeline(self):
+        # The same (outcome, score) joining the monitor uses, done offline.
+        monitor = QualityMonitor(min_outcomes=1)
+        monitor.attach_catalogue(50, warm_view_threshold=10_000)
+        scores = np.linspace(0.02, 0.98, 50)
+        rng = np.random.default_rng(42)
+        all_events = []
+        for batch_index in range(20):
+            events = []
+            for i in range(500):
+                item = int(rng.integers(0, 50))
+                clicked = bool(rng.uniform() < scores[item])
+                events.extend(
+                    self._batch(item, batch_index * 500 + i, float(i), clicked)
+                )
+            monitor.observe_serving_batch(events, scores=scores)
+            all_events.extend(events)
+        items, _, _, clicked = join_click_outcomes(all_events)
+        exact = roc_auc(clicked.astype(float), scores[items])
+        assert monitor.snapshot()["quality.streaming_auc"] == pytest.approx(
+            exact, abs=0.01
+        )
+
+    def test_release_events_set_release_time(self):
+        monitor = QualityMonitor()
+        monitor.observe_serving_batch(
+            [
+                Event(EventKind.RELEASE, 3, None, 7.0),
+                Event(EventKind.VIEW, 3, 1, 9.0),
+            ]
+        )
+        summary = monitor.cold_start.summary()
+        assert summary["time_to_first_impression"]["mean"] == pytest.approx(2.0)
+
+    def test_observe_divergence_cosine(self):
+        monitor = QualityMonitor()
+        monitor.attach_catalogue(4)
+        generated = np.array([[1.0, 0.0], [0.0, 1.0]])
+        encoded = np.array([[1.0, 0.0], [1.0, 0.0]])
+        monitor.observe_divergence(np.array([0, 1]), generated, encoded)
+        assert monitor.cold_start.divergence_mean() == pytest.approx(0.5)
+
+    def test_validation_records(self):
+        monitor = QualityMonitor()
+        labels = np.array([1.0, 0.0, 1.0, 0.0])
+        scores = np.array([0.9, 0.1, 0.8, 0.3])
+        monitor.observe_validation("encoder", labels, scores)
+        snapshot = monitor.snapshot()
+        assert snapshot["quality.validation.encoder.auc"] == pytest.approx(1.0)
+        assert "quality.validation.encoder.ece" in snapshot
+
+    def test_evaluate_pushes_gauges_and_alerts(self):
+        registry = MetricsRegistry()
+        rules = (
+            AlertRule(
+                "low-auc",
+                "quality.streaming_auc",
+                1.0,  # breaches at <= 1.0, i.e. always once AUC reports
+                direction="below",
+                consecutive=1,
+            ),
+        )
+        monitor = QualityMonitor(min_outcomes=1, rules=rules, sinks=())
+        monitor.attach_catalogue(4)
+        monitor.observe_serving_batch(
+            [
+                Event(EventKind.VIEW, 0, 1, 0.0),
+                Event(EventKind.CLICK, 0, 1, 1.0),
+                Event(EventKind.VIEW, 1, 2, 2.0),
+            ],
+            scores=np.array([0.9, 0.1, 0.5, 0.5]),
+        )
+        with use_registry(registry):
+            transitions = monitor.evaluate()
+        assert [t.rule for t in transitions] == ["low-auc"]
+        assert registry.gauge("quality.streaming_auc").value == pytest.approx(1.0)
+        assert registry.counter("alerts.fired").value == 1.0
+
+    def test_min_outcomes_warmup_hides_auc(self):
+        monitor = QualityMonitor(min_outcomes=1000)
+        monitor.attach_catalogue(4)
+        monitor.observe_serving_batch(
+            [
+                Event(EventKind.VIEW, 0, 1, 0.0),
+                Event(EventKind.CLICK, 0, 1, 1.0),
+                Event(EventKind.VIEW, 1, 2, 2.0),
+            ],
+            scores=np.array([0.9, 0.1, 0.5, 0.5]),
+        )
+        snapshot = monitor.snapshot()
+        assert snapshot["quality.streaming_auc"] is None
+        assert snapshot["quality.ece"] is None
+
+    def test_iter_records_are_typed(self):
+        monitor = QualityMonitor()
+        monitor.attach_catalogue(4)
+        types = {record["type"] for record in monitor.iter_records()}
+        assert {"quality", "drift", "coldstart"} <= types
+
+    def test_default_rules_have_unique_names(self):
+        rules = default_quality_rules()
+        assert len({rule.name for rule in rules}) == len(rules)
+
+
+class TestUseMonitor:
+    def test_scoped_activation(self):
+        assert get_active_monitor() is None
+        monitor = QualityMonitor()
+        with use_monitor(monitor):
+            assert get_active_monitor() is monitor
+            inner = QualityMonitor()
+            with use_monitor(inner):
+                assert get_active_monitor() is inner
+            assert get_active_monitor() is monitor
+        assert get_active_monitor() is None
