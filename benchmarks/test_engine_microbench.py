@@ -117,22 +117,34 @@ def test_bench_exact_auc(benchmark):
 
 
 def test_bench_monitor_overhead(micro_world, micro_model, save_report):
-    """Serving loop with the quality monitor armed vs off: <5% overhead.
+    """Serving loop with observability armed vs off: <5% overhead.
 
     The monitor's contract is that it rides the serving hot path on
-    vectorised batch updates; this A/B times the identical loop — a
+    vectorised batch updates; this A/B/C times the identical loop — a
     production-shaped traffic mix of event ingestion, score refreshes
     and personalised queries (2 000 views per batch come from the order
-    of two hundred k=10 recommendation requests) — with and without an
-    active monitor, and asserts the min-of-rounds ratio stays under the
-    1.05 budget.  The measured numbers land in
-    ``benchmarks/results/monitor_overhead.txt``.
+    of two hundred k=10 recommendation requests) — bare, with the
+    quality monitor, and with the full stack (monitor + tracer + SLO
+    tracker + flight recorder), asserting both armed arms keep their
+    min-of-rounds ratio under the shared 1.05 budget.  The measured
+    numbers land in ``benchmarks/results/monitor_overhead.txt``.
     """
     import gc
     import time as _time
+    from contextlib import ExitStack
 
     from repro.data.schema import GROUP_USER
-    from repro.obs import QualityMonitor, use_monitor
+    from repro.obs import (
+        FlightRecorder,
+        QualityMonitor,
+        SLOTracker,
+        Tracer,
+        default_serving_slos,
+        use_flight_recorder,
+        use_monitor,
+        use_slo_tracker,
+        use_tracer,
+    )
     from repro.serving import EngineConfig, RealTimeEngine, generate_event_stream
 
     rng = np.random.default_rng(7)
@@ -172,56 +184,92 @@ def test_bench_monitor_overhead(micro_world, micro_model, save_report):
             durations.append(_time.perf_counter() - start)
         return durations
 
-    def timed(monitor):
+    ARMS = ("baseline", "monitored", "flight")
+
+    def timed(arm):
         # sinks=() keeps rare-event alert I/O (measured in the alert
         # tests) and pytest's log capture out of the compute timing;
-        # GC is paused so collection pauses don't land on one arm.
+        # GC is paused so collection pauses don't land on one arm.  The
+        # flight arm uses a latency SLO far above real latencies and an
+        # AUC floor far below the untrained model's, so no burn-rate
+        # alert (and thus no alert log I/O) fires mid-bench.
         gc.collect()
         gc.disable()
         try:
-            if monitor:
-                with use_monitor(QualityMonitor(sinks=())):
-                    return serving_loop()
-            return serving_loop()
+            with ExitStack() as stack:
+                if arm in ("monitored", "flight"):
+                    stack.enter_context(use_monitor(QualityMonitor(sinks=())))
+                if arm == "flight":
+                    stack.enter_context(use_tracer(Tracer()))
+                    stack.enter_context(
+                        use_slo_tracker(
+                            SLOTracker(
+                                default_serving_slos(
+                                    latency_p99_seconds=60.0,
+                                    auc_floor=0.01,
+                                ),
+                                sinks=(),
+                            )
+                        )
+                    )
+                    stack.enter_context(
+                        use_flight_recorder(
+                            FlightRecorder(capacity=256, auto_dump=False)
+                        )
+                    )
+                return serving_loop()
         finally:
             gc.enable()
 
-    timed(False)  # warm both paths (first-call caches, allocator)
-    timed(True)
+    for arm in ARMS:  # warm every path (first-call caches, allocator)
+        timed(arm)
     # Per-segment minima across alternating rounds: background load can
     # only inflate a timing, so each segment's floor converges to the
     # true cost of that arm — a quiet window for any single round of a
     # segment suffices, and extra sampling can never hide a genuine
-    # regression (the floors only move down, and both arms share them).
-    floors = {False: [np.inf] * len(batches), True: [np.inf] * len(batches)}
+    # regression (the floors only move down, and all arms share them).
+    floors = {arm: [np.inf] * len(batches) for arm in ARMS}
 
     def sample():
-        for arm in (False, True):
+        for arm in ARMS:
             floors[arm] = [
                 min(floor, duration)
                 for floor, duration in zip(floors[arm], timed(arm))
             ]
-        return sum(floors[True]) / sum(floors[False])
+        base = sum(floors["baseline"])
+        return {
+            arm: sum(floors[arm]) / base for arm in ARMS[1:]
+        }
 
     for _ in range(5):
-        ratio = sample()
+        ratios = sample()
     extra_rounds = 0
-    while ratio >= 1.05 and extra_rounds < 10:  # keep sampling while noisy
-        ratio = sample()
+    while max(ratios.values()) >= 1.05 and extra_rounds < 10:
+        ratios = sample()  # keep sampling while noisy
         extra_rounds += 1
-    baseline = sum(floors[False])
-    monitored = sum(floors[True])
+    baseline = sum(floors["baseline"])
+    monitored = sum(floors["monitored"])
+    flight = sum(floors["flight"])
     save_report(
         "monitor_overhead",
-        "monitor-armed serving overhead "
+        "observability-armed serving overhead "
         f"(per-segment floors over {5 + extra_rounds} alternating rounds)\n"
-        f"  baseline  : {baseline * 1e3:.2f} ms\n"
-        f"  monitored : {monitored * 1e3:.2f} ms\n"
-        f"  ratio     : {ratio:.4f} (budget < 1.05)",
+        f"  baseline                     : {baseline * 1e3:.2f} ms\n"
+        f"  monitored                    : {monitored * 1e3:.2f} ms "
+        f"(ratio {ratios['monitored']:.4f})\n"
+        f"  monitor+tracer+slo+flight    : {flight * 1e3:.2f} ms "
+        f"(ratio {ratios['flight']:.4f})\n"
+        f"  budget                       : ratio < 1.05 for both arms",
     )
-    assert ratio < 1.05, (
-        f"quality monitor costs {100 * (ratio - 1):.1f}% on the serving "
-        f"loop (budget 5%): baseline {baseline:.4f}s vs {monitored:.4f}s"
+    assert ratios["monitored"] < 1.05, (
+        f"quality monitor costs {100 * (ratios['monitored'] - 1):.1f}% on "
+        f"the serving loop (budget 5%): baseline {baseline:.4f}s vs "
+        f"{monitored:.4f}s"
+    )
+    assert ratios["flight"] < 1.05, (
+        f"full observability stack costs {100 * (ratios['flight'] - 1):.1f}% "
+        f"on the serving loop (budget 5%): baseline {baseline:.4f}s vs "
+        f"{flight:.4f}s"
     )
 
 

@@ -74,6 +74,29 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--slo",
+        action="store_true",
+        help=(
+            "arm the serving SLO tracker for the run: rolling error "
+            "budgets and multi-window burn-rate alerts over request "
+            "latency, availability and the streaming-AUC floor; the "
+            "budget summary prints at the end and slo.* gauges land in "
+            "--prometheus-out / --telemetry exports"
+        ),
+    )
+    parser.add_argument(
+        "--flight-out",
+        type=Path,
+        default=None,
+        help=(
+            "arm the serving flight recorder with this postmortem "
+            "directory: recent per-request span trees are retained "
+            "(slowest kept as tail exemplars) and a postmortem bundle "
+            "is dumped when an alert fires or a request errors; replay "
+            "bundles with 'python -m repro.obs.flight <bundle>'"
+        ),
+    )
+    parser.add_argument(
         "--prometheus-out",
         type=Path,
         default=None,
@@ -126,6 +149,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     needs_session = (
         args.telemetry is not None
         or args.monitor
+        or args.slo
+        or args.flight_out is not None
         or args.trace_out is not None
         or args.prometheus_out is not None
     )
@@ -134,6 +159,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             label=f"{args.experiment}:{args.preset}",
             monitor=args.monitor,
             trace_events=args.trace_out is not None,
+            slo=args.slo,
+            flight=args.flight_out is not None,
+            postmortem_dir=args.flight_out,
         )
         session.start()
     sanitizer = None
@@ -171,6 +199,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             session.stop()
             if session.monitor is not None:
                 print(session.monitor.to_text())
+            if session.slo is not None:
+                print(session.slo.to_text())
+            if session.flight is not None:
+                print(session.flight.to_text())
+                for bundle in session.flight.dumps:
+                    print(f"[postmortem bundle written to {bundle}]")
             if args.telemetry is not None:
                 session.write_jsonl(args.telemetry)
                 print(f"[telemetry report written to {args.telemetry}]")

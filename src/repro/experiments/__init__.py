@@ -20,6 +20,12 @@ from repro.experiments.serving_eval import (
     run_monitored_serving,
     run_serving_eval,
 )
+from repro.experiments.slo_smoke import (
+    SLOPhase,
+    SLOSmokeResult,
+    run_slo_smoke,
+    smoke_slos,
+)
 from repro.experiments.training_curves import TrainingCurves, run_training_curves
 from repro.experiments.transfer import TransferResult, run_transfer
 from repro.experiments.pipeline import (
@@ -65,6 +71,10 @@ __all__ = [
     "ServingStage",
     "run_monitored_serving",
     "run_serving_eval",
+    "SLOPhase",
+    "SLOSmokeResult",
+    "run_slo_smoke",
+    "smoke_slos",
     "TrainingCurves",
     "run_training_curves",
     "TransferResult",

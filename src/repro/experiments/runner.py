@@ -18,6 +18,7 @@ from repro.experiments.pipeline import build_eleme_artifacts, build_tmall_artifa
 from repro.experiments.retrieval import run_retrieval
 from repro.experiments.segmentation import run_segmentation
 from repro.experiments.serving_eval import run_monitored_serving, run_serving_eval
+from repro.experiments.slo_smoke import run_slo_smoke
 from repro.experiments.training_curves import run_training_curves
 from repro.experiments.transfer import run_transfer
 from repro.experiments.table1 import run_table1
@@ -40,6 +41,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "extended-baselines": run_extended_baselines,
     "serving-warmup": run_serving_eval,
     "serving-monitor": run_monitored_serving,
+    "slo-smoke": run_slo_smoke,
     "retrieval": run_retrieval,
     "segmentation": run_segmentation,
     "training-curves": run_training_curves,

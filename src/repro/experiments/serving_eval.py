@@ -19,6 +19,7 @@ from repro.experiments.pipeline import TmallArtifacts, build_tmall_artifacts
 from repro.metrics import rank_correlation
 from repro.metrics.auc import roc_auc
 from repro.obs.quality import QualityMonitor, get_active_monitor, use_monitor
+from repro.obs.slo import get_active_slo_tracker
 from repro.serving import EngineConfig, RealTimeEngine, generate_event_stream
 from repro.serving.events import join_click_outcomes
 from repro.utils.rng import derive_seed
@@ -162,6 +163,8 @@ class MonitoredServingResult:
     alerts: List[Dict[str, object]] = field(default_factory=list)
     exact_auc: Optional[float] = None
     streaming_auc: Optional[float] = None
+    slo: Dict[str, Optional[float]] = field(default_factory=dict)
+    slo_exhausted: List[str] = field(default_factory=list)
 
     def as_dict(self):
         """JSON-friendly summary."""
@@ -179,6 +182,8 @@ class MonitoredServingResult:
             "alerts": list(self.alerts),
             "exact_auc": self.exact_auc,
             "streaming_auc": self.streaming_auc,
+            "slo": dict(self.slo),
+            "slo_exhausted": list(self.slo_exhausted),
         }
 
     def render(self) -> str:
@@ -208,6 +213,19 @@ class MonitoredServingResult:
             lines.append(
                 f"    {alert['rule']} ({alert['severity']}): "
                 f"{alert['metric']}={alert['value']:.6g}"
+            )
+        budgets = sorted(
+            name for name in self.slo if name.endswith(".budget_remaining")
+        )
+        if budgets:
+            lines.append("  slo budgets:")
+            for name in budgets:
+                value = self.slo[name]
+                rendered = "n/a" if value is None else f"{value:.3f}"
+                lines.append(f"    {name} = {rendered}")
+        if self.slo_exhausted:
+            lines.append(
+                f"  exhausted budgets: {', '.join(self.slo_exhausted)}"
             )
         return "\n".join(lines)
 
@@ -286,6 +304,15 @@ def run_monitored_serving(
         scores = np.concatenate(exact_scores)
         if 0.0 < labels.mean() < 1.0:
             exact_auc = roc_auc(labels, scores)
+    # Riding SLO tracker (e.g. the CLI's --slo session): the engine has
+    # already fed it through the request observers; report its state.
+    tracker = get_active_slo_tracker()
+    slo_snapshot: Dict[str, Optional[float]] = {}
+    slo_exhausted: List[str] = []
+    if tracker is not None:
+        tracker.evaluate()
+        slo_snapshot = tracker.snapshot()
+        slo_exhausted = tracker.exhausted()
     return MonitoredServingResult(
         stages=stages,
         preset=artifacts.preset.name,
@@ -296,4 +323,6 @@ def run_monitored_serving(
         alerts=[dict(record) for record in monitor.alerts.iter_records()],
         exact_auc=exact_auc,
         streaming_auc=snapshot.get("quality.streaming_auc"),
+        slo=slo_snapshot,
+        slo_exhausted=slo_exhausted,
     )

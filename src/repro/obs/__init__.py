@@ -15,6 +15,16 @@ The package provides four composable surfaces:
   AUC/ECE, cohort CTR, cold-start lifecycle tracking) with
   :mod:`repro.obs.drift` score/feature drift detectors and
   :mod:`repro.obs.alerts` threshold+hysteresis alerting;
+* :mod:`repro.obs.context` — request-scoped trace context
+  (:class:`TraceContext` / :class:`request_scope`) propagated through
+  the serving engine, so every emitted sample, alert and telemetry
+  record carries the ``trace_id`` of the request that produced it;
+* :mod:`repro.obs.slo` — declarative SLOs with rolling error budgets
+  and multi-window burn-rate alerting over the serving stream;
+* :mod:`repro.obs.flight` — the serving flight recorder: a bounded ring
+  of recent per-request span trees with tail-exemplar sampling and
+  automatic postmortem bundles (replay with
+  ``python -m repro.obs.flight <bundle>``);
 * :mod:`repro.obs.session` — :class:`TelemetrySession`, which activates
   everything at once and renders JSONL/text run reports (the CLI's
   ``--telemetry`` flag), plus Chrome-trace export.
@@ -33,8 +43,26 @@ from repro.obs.alerts import (
     JsonlSink,
     LogSink,
     Severity,
+    register_alert_observer,
+    unregister_alert_observer,
 )
 from repro.obs.autograd import AutogradProfiler, OpStats
+from repro.obs.context import (
+    RequestRecord,
+    TraceContext,
+    current_trace_context,
+    new_trace_id,
+    register_request_observer,
+    request_scope,
+    unregister_request_observer,
+    use_trace_context,
+)
+from repro.obs.flight import (
+    FlightRecorder,
+    get_active_flight_recorder,
+    load_bundle,
+    use_flight_recorder,
+)
 from repro.obs.callbacks import (
     BatchStats,
     TelemetryCallback,
@@ -66,6 +94,14 @@ from repro.obs.quality import (
     use_monitor,
 )
 from repro.obs.session import TelemetrySession
+from repro.obs.slo import (
+    SLO,
+    SLOTracker,
+    SLOWindow,
+    default_serving_slos,
+    get_active_slo_tracker,
+    use_slo_tracker,
+)
 from repro.obs.tracing import (
     Span,
     SpanStats,
@@ -85,6 +121,8 @@ __all__ = [
     "JsonlSink",
     "LogSink",
     "Severity",
+    "register_alert_observer",
+    "unregister_alert_observer",
     "AutogradProfiler",
     "OpStats",
     "BatchStats",
@@ -115,6 +153,24 @@ __all__ = [
     "default_quality_rules",
     "get_active_monitor",
     "use_monitor",
+    "RequestRecord",
+    "TraceContext",
+    "current_trace_context",
+    "new_trace_id",
+    "register_request_observer",
+    "request_scope",
+    "unregister_request_observer",
+    "use_trace_context",
+    "FlightRecorder",
+    "get_active_flight_recorder",
+    "load_bundle",
+    "use_flight_recorder",
+    "SLO",
+    "SLOTracker",
+    "SLOWindow",
+    "default_serving_slos",
+    "get_active_slo_tracker",
+    "use_slo_tracker",
     "TelemetrySession",
     "Span",
     "SpanStats",

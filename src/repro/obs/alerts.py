@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
+from repro.obs.context import current_trace_context
 from repro.obs.logging import get_logger, kv
 from repro.obs.metrics import get_active_registry
 
@@ -40,6 +41,8 @@ __all__ = [
     "JsonlSink",
     "CallbackSink",
     "AlertEngine",
+    "register_alert_observer",
+    "unregister_alert_observer",
 ]
 
 _LOGGER = get_logger("obs.alerts")
@@ -126,7 +129,13 @@ class AlertRule:
 
 @dataclass(frozen=True)
 class Alert:
-    """One fired/resolved transition of a rule."""
+    """One fired/resolved transition of a rule.
+
+    ``trace_id`` names the request whose evaluation produced the
+    transition (None when the rules were evaluated outside any
+    :class:`~repro.obs.context.request_scope`), so an alert can be
+    joined back to the flight-recorder exemplar that triggered it.
+    """
 
     rule: str
     metric: str
@@ -135,6 +144,7 @@ class Alert:
     severity: str
     kind: str  # "fired" | "resolved"
     at_unix: float = field(default_factory=time.time)
+    trace_id: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -145,6 +155,7 @@ class Alert:
             "severity": self.severity,
             "kind": self.kind,
             "at_unix": self.at_unix,
+            "trace_id": self.trace_id,
         }
 
 
@@ -196,6 +207,26 @@ class CallbackSink(AlertSink):
         self.fn(alert)
 
 
+# ----------------------------------------------------------------------
+# Fired-alert observers (the flight recorder hooks postmortem dumps here;
+# registration lives in this module so alerts stays import-light).
+# ----------------------------------------------------------------------
+_ALERT_OBSERVERS: List[Callable[[Alert], None]] = []
+
+
+def register_alert_observer(fn: Callable[[Alert], None]) -> None:
+    """Call ``fn`` with every *fired* alert from any engine."""
+    _ALERT_OBSERVERS.append(fn)
+
+
+def unregister_alert_observer(fn: Callable[[Alert], None]) -> None:
+    """Stop notifying ``fn`` (no-op when absent)."""
+    for position in range(len(_ALERT_OBSERVERS) - 1, -1, -1):
+        if _ALERT_OBSERVERS[position] is fn:
+            del _ALERT_OBSERVERS[position]
+            break
+
+
 class _RuleState:
     __slots__ = ("streak", "active")
 
@@ -242,6 +273,9 @@ class AlertEngine:
                 registry.counter(f"alerts.fired.{alert.severity}").inc()
         for sink in self.sinks:
             sink.emit(alert)
+        if alert.kind == "fired":
+            for observer in list(_ALERT_OBSERVERS):
+                observer(alert)
 
     def evaluate(self, metrics: Mapping[str, object]) -> List[Alert]:
         """Advance every rule against ``metrics``; return new transitions.
@@ -250,6 +284,8 @@ class AlertEngine:
         leave the corresponding rule's streak/active state unchanged.
         """
         self.evaluations += 1
+        context = current_trace_context()
+        trace_id = None if context is None else context.trace_id
         transitions: List[Alert] = []
         for rule in self.rules:
             value = metrics.get(rule.metric)
@@ -273,6 +309,7 @@ class AlertEngine:
                                 threshold=rule.threshold,
                                 severity=rule.severity,
                                 kind="fired",
+                                trace_id=trace_id,
                             )
                         )
                 else:
@@ -288,6 +325,7 @@ class AlertEngine:
                         threshold=rule.threshold,
                         severity=rule.severity,
                         kind="resolved",
+                        trace_id=trace_id,
                     )
                 )
         for alert in transitions:

@@ -31,13 +31,16 @@ off.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+import time
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.metrics.auc import roc_auc
 from repro.metrics.classification import calibration_error
 from repro.obs.alerts import Alert, AlertEngine, AlertRule, AlertSink, Severity
+from repro.obs.context import current_trace_context
 from repro.obs.drift import DriftDetector
 from repro.obs.logging import get_logger, kv
 from repro.obs.metrics import get_active_registry
@@ -519,6 +522,20 @@ class QualityMonitor:
         self.clicks_seen = 0
         self.outcomes_scored = 0
         self.score_emissions = 0
+        # Bounded log of ingestion samples, each stamped with the trace
+        # of the request that produced it — joins monitor state to the
+        # flight recorder's per-request records.
+        self.samples: Deque[Dict[str, object]] = deque(maxlen=1024)
+
+    def _sample(self, entry_point: str, **fields: object) -> None:
+        context = current_trace_context()
+        record: Dict[str, object] = {
+            "entry_point": entry_point,
+            "trace_id": None if context is None else context.trace_id,
+            "at_unix": time.time(),
+        }
+        record.update(fields)
+        self.samples.append(record)
 
     # ------------------------------------------------------------------
     # Attachment and per-channel configuration
@@ -575,6 +592,9 @@ class QualityMonitor:
         kinds, items, users, timestamps = columns
         if items.size == 0:
             return
+        self._sample(
+            "serving_batch", events=int(items.size), scored=scores is not None
+        )
         if self.cold_start is None:
             self.attach_catalogue(int(items.max()) + 1)
         tracker = self.cold_start
@@ -607,6 +627,7 @@ class QualityMonitor:
 
     def observe_scores(self, scores) -> None:
         """Feed a refreshed catalogue score distribution (drift channel)."""
+        self._sample("scores", n=int(np.asarray(scores).size))
         self.score_drift.update(scores)
         self.score_emissions += 1
 
@@ -614,6 +635,7 @@ class QualityMonitor:
         """Record generator-vs-encoder cosine divergence for re-encoded slots."""
         if self.cold_start is None:
             return
+        self._sample("divergence", slots=int(np.asarray(slots).size))
         generated = np.asarray(generated, dtype=float)
         encoded = np.asarray(encoded, dtype=float)
         inner = np.sum(generated * encoded, axis=1)
@@ -629,6 +651,7 @@ class QualityMonitor:
     def observe_validation(self, path: str, labels, scores) -> None:
         """Record exact quality of one validation pass (per model path)."""
         labels, scores = _outcome_arrays(labels, scores)
+        self._sample("validation", path=path, n=int(labels.size))
         record: Dict[str, float] = {"n": float(labels.size)}
         try:
             record["auc"] = roc_auc(labels, scores)
@@ -690,7 +713,7 @@ class QualityMonitor:
         return transitions
 
     def iter_records(self) -> Iterator[Dict[str, object]]:
-        """JSON-friendly report lines (quality / drift / coldstart / alert)."""
+        """Report lines (quality / drift / coldstart / monitor_sample / alert)."""
         for name, value in self.snapshot().items():
             yield {"type": "quality", "name": name, "value": value}
         channels: List[Tuple[str, DriftDetector]] = [("score", self.score_drift)]
@@ -702,6 +725,10 @@ class QualityMonitor:
         if self.cold_start is not None:
             record = {"type": "coldstart"}
             record.update(self.cold_start.summary())
+            yield record
+        for sample in self.samples:
+            record = {"type": "monitor_sample"}
+            record.update(sample)
             yield record
         for alert_record in self.alerts.iter_records():
             record = {"type": "alert"}

@@ -17,8 +17,9 @@ True
 The JSONL report is one JSON object per line, discriminated by ``type``:
 ``meta``, ``epoch``, ``counter``, ``gauge``, ``histogram``,
 ``autograd_op``, ``span`` and — when a quality monitor is attached —
-``quality``, ``drift``, ``coldstart`` and ``alert`` (see
-``docs/observability.md``).
+``quality``, ``drift``, ``coldstart``, ``monitor_sample`` and ``alert``;
+with an SLO tracker also ``slo``, and with a flight recorder ``request``
+(see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -34,9 +35,11 @@ from repro.obs.callbacks import (
     register_global_callback,
     unregister_global_callback,
 )
+from repro.obs.flight import FlightRecorder, use_flight_recorder
 from repro.obs.logging import get_logger, kv
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.obs.quality import QualityMonitor, use_monitor
+from repro.obs.slo import SLOTracker, use_slo_tracker
 from repro.obs.tracing import Tracer, use_tracer
 
 __all__ = ["TelemetrySession"]
@@ -79,6 +82,19 @@ class TelemetrySession:
         Record individual span/op occurrences for
         :meth:`write_chrome_trace` (spans always record; autograd op
         events additionally need ``profile_autograd``).
+    slo:
+        Attach an SLO tracker (see :class:`~repro.obs.slo.SLOTracker`):
+        ``True`` builds one with :func:`~repro.obs.slo.\
+default_serving_slos`, or pass a configured instance.  While the
+        session is open, every completed serving request feeds the
+        latency/availability error budgets.
+    flight:
+        Attach a serving flight recorder (see
+        :class:`~repro.obs.flight.FlightRecorder`): ``True`` builds one
+        with defaults, or pass a configured instance.
+    postmortem_dir:
+        Where the flight recorder's automatic postmortem bundles land
+        (sets the recorder's ``postmortem_dir`` when it has none).
     """
 
     def __init__(
@@ -88,6 +104,9 @@ class TelemetrySession:
         label: str = "",
         monitor: Union[bool, QualityMonitor, None] = None,
         trace_events: bool = True,
+        slo: Union[bool, SLOTracker, None] = None,
+        flight: Union[bool, FlightRecorder, None] = None,
+        postmortem_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = Tracer(record_events=trace_events)
@@ -103,12 +122,32 @@ class TelemetrySession:
             self.monitor = QualityMonitor()
         else:
             self.monitor = monitor
+        if slo is None or slo is False:
+            self.slo: Optional[SLOTracker] = None
+        elif slo is True:
+            self.slo = SLOTracker()
+        else:
+            self.slo = slo
+        if flight is None or flight is False:
+            self.flight: Optional[FlightRecorder] = None
+        elif flight is True:
+            self.flight = FlightRecorder(postmortem_dir=postmortem_dir)
+        else:
+            self.flight = flight
+        if (
+            self.flight is not None
+            and postmortem_dir is not None
+            and self.flight.postmortem_dir is None
+        ):
+            self.flight.postmortem_dir = Path(postmortem_dir)
         self.label = label
         self._started_unix: Optional[float] = None
         self._stopped_unix: Optional[float] = None
         self._registry_scope: Optional[use_registry] = None
         self._tracer_scope: Optional[use_tracer] = None
         self._monitor_scope: Optional[use_monitor] = None
+        self._slo_scope: Optional[use_slo_tracker] = None
+        self._flight_scope: Optional[use_flight_recorder] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -125,6 +164,12 @@ class TelemetrySession:
         if self.monitor is not None:
             self._monitor_scope = use_monitor(self.monitor)
             self._monitor_scope.__enter__()
+        if self.slo is not None:
+            self._slo_scope = use_slo_tracker(self.slo)
+            self._slo_scope.__enter__()
+        if self.flight is not None:
+            self._flight_scope = use_flight_recorder(self.flight)
+            self._flight_scope.__enter__()
         register_global_callback(self.callback)
         if self.profiler is not None:
             self.profiler.enable()
@@ -140,6 +185,12 @@ class TelemetrySession:
         if self.profiler is not None:
             self.profiler.disable()
         unregister_global_callback(self.callback)
+        if self._flight_scope is not None:
+            self._flight_scope.__exit__(None, None, None)
+            self._flight_scope = None
+        if self._slo_scope is not None:
+            self._slo_scope.__exit__(None, None, None)
+            self._slo_scope = None
         if self._monitor_scope is not None:
             self._monitor_scope.__exit__(None, None, None)
             self._monitor_scope = None
@@ -188,6 +239,15 @@ class TelemetrySession:
         if self.monitor is not None:
             for record in self.monitor.iter_records():
                 yield dict(record)  # carries its own "type" discriminator
+        if self.slo is not None:
+            for record in self.slo.iter_records():
+                yield dict(record)
+            for alert_record in self.slo.alerts.iter_records():
+                out = {"type": "alert", "source": "slo"}
+                out.update(alert_record)
+                yield out
+        if self.flight is not None:
+            yield from self.flight.iter_records()
 
     def write_chrome_trace(self, destination: Union[str, Path]) -> None:
         """Write span + autograd op events as one Chrome/Perfetto trace.
@@ -208,7 +268,14 @@ class TelemetrySession:
         events = self.tracer.chrome_trace_events(origin=origin)
         if self.profiler is not None:
             events.extend(self.profiler.chrome_trace_events(origin=origin))
-        payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+        payload = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "metadata": {
+                "span_events_dropped": self.tracer.dropped_events,
+                "span_max_events": self.tracer.max_events,
+            },
+        }
         destination = Path(destination)
         destination.parent.mkdir(parents=True, exist_ok=True)
         destination.write_text(json.dumps(payload), encoding="utf-8")
@@ -242,4 +309,8 @@ class TelemetrySession:
             lines.extend("    " + line for line in spans_text.splitlines())
         if self.monitor is not None:
             lines.extend("  " + line for line in self.monitor.to_text().splitlines())
+        if self.slo is not None:
+            lines.extend("  " + line for line in self.slo.to_text().splitlines())
+        if self.flight is not None:
+            lines.extend("  " + line for line in self.flight.to_text().splitlines())
         return "\n".join(lines)

@@ -29,8 +29,10 @@ from repro.data.dataset import FeatureTable
 from repro.data.schema import GROUP_ITEM_PROFILE, GROUP_ITEM_STAT, GROUP_USER
 from repro.data.synthetic.common import sigmoid
 from repro.nn.tensor import no_grad
+from repro.obs.context import request_scope
 from repro.obs.metrics import get_active_registry
 from repro.obs.quality import get_active_monitor
+from repro.obs.slo import get_active_slo_tracker
 from repro.obs.tracing import maybe_span
 from repro.serving.events import Event, event_columns
 from repro.serving.feature_store import ItemStatisticsStore
@@ -107,30 +109,33 @@ class RealTimeEngine:
     # ------------------------------------------------------------------
     def ingest(self, events: Sequence[Event]) -> int:
         """Apply a batch of behaviour events; scores become stale."""
-        # One columnar pass over the python event objects, shared by the
-        # store, the dirty-slot bookkeeping, and the quality monitor.
-        columns = event_columns(events)
-        applied = self.store.ingest(events, columns=columns)
-        self._events_seen += applied
-        if applied:
-            self._dirty.update(np.unique(columns[1]).tolist())
-        self._fresh = False
-        self._order = None
-        registry = get_active_registry()
-        if registry is not None:
-            registry.counter("engine.events_ingested").inc(applied)
-        monitor = get_active_monitor()
-        if monitor is not None:
-            # The scores these outcomes were served against are the ones
-            # from the last refresh (None before the first refresh, in
-            # which case only cohorts/lifecycle update).
-            monitor.attach_catalogue(
-                len(self.catalogue), self.config.warm_view_threshold
-            )
-            monitor.observe_serving_batch(
-                events, scores=self._scores, columns=columns
-            )
-        return applied
+        with request_scope("ingest") as ctx, maybe_span("engine.ingest"):
+            # One columnar pass over the python event objects, shared by
+            # the store, the dirty-slot bookkeeping, and the monitor.
+            columns = event_columns(events)
+            applied = self.store.ingest(events, columns=columns)
+            self._events_seen += applied
+            if applied:
+                self._dirty.update(np.unique(columns[1]).tolist())
+            self._fresh = False
+            self._order = None
+            ctx.note("events_applied", applied)
+            ctx.note("dirty_slots", len(self._dirty))
+            registry = get_active_registry()
+            if registry is not None:
+                registry.counter("engine.events_ingested").inc(applied)
+            monitor = get_active_monitor()
+            if monitor is not None:
+                # The scores these outcomes were served against are the
+                # ones from the last refresh (None before the first
+                # refresh, in which case only cohorts/lifecycle update).
+                monitor.attach_catalogue(
+                    len(self.catalogue), self.config.warm_view_threshold
+                )
+                monitor.observe_serving_batch(
+                    events, scores=self._scores, columns=columns
+                )
+            return applied
 
     @property
     def events_seen(self) -> int:
@@ -172,6 +177,10 @@ class RealTimeEngine:
         incremental refreshes approximate untouched warm slots with their
         previous vectors; call ``refresh(full=True)`` for an exact pass.
         """
+        with request_scope("refresh") as ctx:
+            return self._refresh(ctx, full)
+
+    def _refresh(self, ctx, full: bool) -> np.ndarray:
         start = time.perf_counter()
         n = len(self.catalogue)
         full = full or self._generator_vectors is None
@@ -187,9 +196,10 @@ class RealTimeEngine:
                     # Statistic columns default to zero (cold) ...
                     for name in self.model.schema.numeric_names(GROUP_ITEM_STAT):
                         features[name] = np.zeros(n)
-                    self._generator_vectors = self.model.generated_item_vectors(
-                        features
-                    ).data
+                    with maybe_span("generator"):
+                        self._generator_vectors = (
+                            self.model.generated_item_vectors(features).data
+                        )
                     item_vectors = self._generator_vectors.copy()
                     stale = warm
                 else:
@@ -209,25 +219,32 @@ class RealTimeEngine:
                 if stale.size:
                     # ... and stale warm slots get live statistics +
                     # encoder vectors.
-                    warm_features = self._profile_features(stale)
-                    warm_features.update(self.store.feature_columns(stale))
-                    item_vectors[stale] = self.model.encoded_item_vectors(
-                        warm_features
-                    ).data
+                    with maybe_span("encoder"):
+                        warm_features = self._profile_features(stale)
+                        warm_features.update(self.store.feature_columns(stale))
+                        item_vectors[stale] = self.model.encoded_item_vectors(
+                            warm_features
+                        ).data
         finally:
             self.model.train(was_training)
 
-        if full:
-            self._scores = self.predictor.score_item_vectors(item_vectors)
-        elif stale.size:
-            scores = self._scores.copy()
-            scores[stale] = self.predictor.score_item_vectors(item_vectors[stale])
-            self._scores = scores
+        with maybe_span("engine.score"):
+            if full:
+                self._scores = self.predictor.score_item_vectors(item_vectors)
+            elif stale.size:
+                scores = self._scores.copy()
+                scores[stale] = self.predictor.score_item_vectors(
+                    item_vectors[stale]
+                )
+                self._scores = scores
         self._item_vectors = item_vectors
         self._dirty.clear()
         self._fresh = True
         self._order = None
         self._refreshes += 1
+        ctx.note("full_refresh", bool(full))
+        ctx.note("warm_items", int(warm.size))
+        ctx.note("slots_rescored", int(stale.size))
         registry = get_active_registry()
         if registry is not None:
             n_warm = int(warm.size)
@@ -247,6 +264,14 @@ class RealTimeEngine:
                     stale, self._generator_vectors[stale], item_vectors[stale]
                 )
             monitor.evaluate()
+        tracker = get_active_slo_tracker()
+        if tracker is not None:
+            # Quality SLOs ride the monitor snapshot; the explicit
+            # evaluate keeps SLO alerting on the refresh cadence even in
+            # quiet traffic (below the tracker's auto-evaluate stride).
+            if monitor is not None:
+                tracker.observe_quality(monitor.snapshot())
+            tracker.evaluate()
         return self._scores
 
     def scores(self) -> np.ndarray:
@@ -265,12 +290,18 @@ class RealTimeEngine:
         so repeated queries (any ``k``, including ``k == n``) between
         ingests cost a slice.
         """
-        scores = self.scores()
-        if not 1 <= k <= scores.size:
-            raise ValueError(f"k must be in [1, {scores.size}], got {k}")
-        if self._order is None:
-            self._order = np.argsort(scores)[::-1]
-        return self._order[:k]
+        with request_scope("top_k") as ctx:
+            scores = self.scores()
+            if not 1 <= k <= scores.size:
+                raise ValueError(f"k must be in [1, {scores.size}], got {k}")
+            ctx.note("k", int(k))
+            ctx.note("order_cache_hit", self._order is not None)
+            if self._order is None:
+                with maybe_span("engine.rank"):
+                    self._order = np.argsort(scores)[::-1]
+            served = self._order[:k]
+            ctx.note("served_slots", int(served.size))
+            return served
 
     def top_promotion_candidates(self, k: int) -> np.ndarray:
         """Smart selection: the k most popular catalogue slots."""
@@ -288,32 +319,42 @@ class RealTimeEngine:
         k:
             Number of recommendations.
         """
-        start = time.perf_counter()
-        self.scores()  # ensure vectors are fresh
-        names = self.model.schema.all_column_names(GROUP_USER)
-        missing = [name for name in names if name not in user_features]
-        if missing:
-            raise KeyError(f"missing user features: {missing}")
-        was_training = self.model.training
-        self.model.eval()
-        try:
-            with no_grad():
-                user_vector = self.model.user_vectors(
-                    {name: np.asarray(user_features[name])[:1] for name in names}
-                ).data[0]
-        finally:
-            self.model.train(was_training)
-        head = self.model.scoring_head
-        logits = self._item_vectors @ (head.weight.data * user_vector)
-        logits = logits + head.bias.data[0]
-        personal = sigmoid(logits)
-        if not 1 <= k <= personal.size:
-            raise ValueError(f"k must be in [1, {personal.size}], got {k}")
-        top = np.argpartition(personal, -k)[-k:]
-        registry = get_active_registry()
-        if registry is not None:
-            registry.counter("engine.recommend_requests").inc()
-            registry.histogram("engine.recommend_seconds").observe(
-                time.perf_counter() - start
-            )
-        return top[np.argsort(personal[top])[::-1]]
+        # No enclosing engine.recommend span: the request scope already
+        # times the whole request, and this path runs hot enough that a
+        # redundant span shows up in the monitor-overhead bench.
+        with request_scope("recommend") as ctx:
+            start = time.perf_counter()
+            self.scores()  # ensure vectors are fresh
+            names = self.model.schema.all_column_names(GROUP_USER)
+            missing = [name for name in names if name not in user_features]
+            if missing:
+                raise KeyError(f"missing user features: {missing}")
+            was_training = self.model.training
+            self.model.eval()
+            try:
+                with no_grad(), maybe_span("user_tower"):
+                    user_vector = self.model.user_vectors(
+                        {
+                            name: np.asarray(user_features[name])[:1]
+                            for name in names
+                        }
+                    ).data[0]
+            finally:
+                self.model.train(was_training)
+            head = self.model.scoring_head
+            logits = self._item_vectors @ (head.weight.data * user_vector)
+            logits = logits + head.bias.data[0]
+            personal = sigmoid(logits)
+            if not 1 <= k <= personal.size:
+                raise ValueError(
+                    f"k must be in [1, {personal.size}], got {k}"
+                )
+            ctx.note("k", int(k))
+            top = np.argpartition(personal, -k)[-k:]
+            registry = get_active_registry()
+            if registry is not None:
+                registry.counter("engine.recommend_requests").inc()
+                registry.histogram("engine.recommend_seconds").observe(
+                    time.perf_counter() - start
+                )
+            return top[np.argsort(personal[top])[::-1]]

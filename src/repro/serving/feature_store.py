@@ -15,6 +15,7 @@ from typing import Dict, Sequence
 import numpy as np
 
 from repro.obs.metrics import get_active_registry
+from repro.obs.tracing import maybe_span
 from repro.serving.events import (
     KIND_CODES,
     Event,
@@ -100,45 +101,48 @@ class ItemStatisticsStore:
         engine's single pass over the python event objects is shared with
         every other columnar consumer (quality monitor, outcome joins).
         """
-        start = time.perf_counter()
-        if columns is None:
-            columns = event_columns(events)
-        kinds, items, users, _ = columns
-        applied = int(items.size)
-        if applied:
-            top_slot = int(items.max())
-            if top_slot >= self.n_slots:
-                raise IndexError(
-                    f"event references slot {top_slot}, store has "
-                    f"{self.n_slots} slots"
+        with maybe_span("store.ingest"):
+            start = time.perf_counter()
+            if columns is None:
+                columns = event_columns(events)
+            kinds, items, users, _ = columns
+            applied = int(items.size)
+            if applied:
+                top_slot = int(items.max())
+                if top_slot >= self.n_slots:
+                    raise IndexError(
+                        f"event references slot {top_slot}, store has "
+                        f"{self.n_slots} slots"
+                    )
+                flat = np.bincount(
+                    kinds * self.n_slots + items, minlength=self._counts.size
                 )
-            flat = np.bincount(
-                kinds * self.n_slots + items, minlength=self._counts.size
-            )
-            self._counts += flat.reshape(self._counts.shape)
-            acting = users >= 0
-            if acting.any():
-                keys = (items[acting] << _USER_SHIFT) | (users[acting] + 1)
-                fresh = np.unique(keys)
-                if self._seen_pairs.size:
-                    fresh = fresh[
-                        ~np.isin(fresh, self._seen_pairs, assume_unique=True)
-                    ]
-                if fresh.size:
-                    self._unique_users += np.bincount(
-                        fresh >> _USER_SHIFT, minlength=self.n_slots
+                self._counts += flat.reshape(self._counts.shape)
+                acting = users >= 0
+                if acting.any():
+                    keys = (items[acting] << _USER_SHIFT) | (users[acting] + 1)
+                    fresh = np.unique(keys)
+                    if self._seen_pairs.size:
+                        fresh = fresh[
+                            ~np.isin(fresh, self._seen_pairs, assume_unique=True)
+                        ]
+                    if fresh.size:
+                        self._unique_users += np.bincount(
+                            fresh >> _USER_SHIFT, minlength=self.n_slots
+                        )
+                        self._seen_pairs = np.sort(
+                            np.concatenate([self._seen_pairs, fresh])
+                        )
+            registry = get_active_registry()
+            if registry is not None and applied:
+                elapsed = time.perf_counter() - start
+                registry.counter("store.events_ingested").inc(applied)
+                registry.histogram("store.ingest_seconds").observe(elapsed)
+                if elapsed > 0:
+                    registry.gauge("store.events_per_second").set(
+                        applied / elapsed
                     )
-                    self._seen_pairs = np.sort(
-                        np.concatenate([self._seen_pairs, fresh])
-                    )
-        registry = get_active_registry()
-        if registry is not None and applied:
-            elapsed = time.perf_counter() - start
-            registry.counter("store.events_ingested").inc(applied)
-            registry.histogram("store.ingest_seconds").observe(elapsed)
-            if elapsed > 0:
-                registry.gauge("store.events_per_second").set(applied / elapsed)
-        return applied
+            return applied
 
     def counters(self, slot: int) -> ItemCounters:
         """Raw counters for one slot (materialised read view)."""
@@ -193,18 +197,19 @@ class ItemStatisticsStore:
         store with no traffic yields all-zero columns (the cold-start
         convention of :func:`repro.data.cold_start.zero_statistics`).
         """
-        slots = np.asarray(slots)
-        raw = self._raw_matrix()
-        trafficked = self.views() > 0
-        if trafficked.any():
-            mean = raw[trafficked].mean(axis=0)
-            std = raw[trafficked].std(axis=0)
-            std = np.where(std < 1e-12, 1.0, std)
-            standardised = (raw - mean) / std
-            standardised[~trafficked] = 0.0
-        else:
-            standardised = np.zeros_like(raw)
-        return {
-            name: standardised[slots, column]
-            for column, name in enumerate(self.STAT_COLUMNS)
-        }
+        with maybe_span("store.features"):
+            slots = np.asarray(slots)
+            raw = self._raw_matrix()
+            trafficked = self.views() > 0
+            if trafficked.any():
+                mean = raw[trafficked].mean(axis=0)
+                std = raw[trafficked].std(axis=0)
+                std = np.where(std < 1e-12, 1.0, std)
+                standardised = (raw - mean) / std
+                standardised[~trafficked] = 0.0
+            else:
+                standardised = np.zeros_like(raw)
+            return {
+                name: standardised[slots, column]
+                for column, name in enumerate(self.STAT_COLUMNS)
+            }

@@ -73,3 +73,106 @@ class TestActiveTracer:
             with maybe_span("tick"):
                 pass
         assert tracer.stats("tick").calls == 1
+
+
+class TestSelfTime:
+    def test_parent_self_time_excludes_children(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            time.sleep(0.005)
+            with tracer.span("inner"):
+                time.sleep(0.01)
+        outer = tracer.stats("outer")
+        inner = tracer.stats("outer/inner")
+        assert outer.child_seconds == pytest.approx(inner.total_seconds)
+        assert outer.self_seconds == pytest.approx(
+            outer.total_seconds - inner.total_seconds
+        )
+        assert outer.self_seconds < outer.total_seconds
+        # Leaf spans: self time equals total time.
+        assert inner.self_seconds == pytest.approx(inner.total_seconds)
+
+    def test_only_direct_children_subtracted(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    time.sleep(0.005)
+        a = tracer.stats("a")
+        b = tracer.stats("a/b")
+        c = tracer.stats("a/b/c")
+        # a's children time is b's total (not b + c).
+        assert a.child_seconds == pytest.approx(b.total_seconds)
+        assert b.child_seconds == pytest.approx(c.total_seconds)
+
+    def test_self_seconds_in_records_and_text(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        records = {r["path"]: r for r in tracer.iter_records()}
+        assert "self_seconds" in records["outer"]
+        assert records["outer"]["self_seconds"] <= records["outer"]["total_seconds"]
+        assert "self=" in tracer.to_text()
+
+
+class TestDroppedEvents:
+    def test_overflow_counts_drops_and_keeps_stats(self):
+        tracer = Tracer(max_events=2)
+        for _ in range(5):
+            with tracer.span("tick"):
+                pass
+        assert tracer.dropped_events == 3
+        assert len(tracer.chrome_trace_events()) == 2
+        # Aggregated stats are unaffected by the event cap.
+        assert tracer.stats("tick").calls == 5
+
+    def test_dropped_line_in_text_report(self):
+        tracer = Tracer(max_events=1)
+        for _ in range(3):
+            with tracer.span("tick"):
+                pass
+        text = tracer.to_text()
+        assert "events dropped: 2" in text
+        assert "max_events=1" in text
+        # No dropped line when nothing was dropped.
+        assert "events dropped" not in Tracer().to_text()
+
+    def test_chrome_trace_metadata_reports_drops(self):
+        import json
+
+        tracer = Tracer(max_events=1)
+        for _ in range(3):
+            with tracer.span("tick"):
+                pass
+        payload = json.loads(tracer.to_chrome_trace())
+        assert payload["metadata"]["events_dropped"] == 2
+        assert payload["metadata"]["events_recorded"] == 1
+        assert payload["metadata"]["max_events"] == 1
+
+    def test_registry_counter_mirrors_drops(self):
+        from repro.obs import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        tracer = Tracer(max_events=1)
+        with use_registry(registry):
+            for _ in range(4):
+                with tracer.span("tick"):
+                    pass
+        assert registry.counter("tracer.events_dropped").value == 3
+
+
+class TestTraceIdOnEvents:
+    def test_events_carry_trace_id_inside_request_scope(self):
+        from repro.obs.context import request_scope
+
+        tracer = Tracer()
+        with tracer.span("outside"):
+            pass
+        with request_scope("req") as ctx:
+            with tracer.span("inside"):
+                pass
+        events = tracer.chrome_trace_events()
+        by_name = {event["name"]: event for event in events}
+        assert "trace_id" not in by_name["outside"]["args"]
+        assert by_name["inside"]["args"]["trace_id"] == ctx.trace_id
