@@ -101,7 +101,12 @@ class Float64LiteralRule(LintRule):
     name = "float64-literal"
     description = "np.float64 literal in a dtype-configurable code path"
 
-    _SCOPE = ("repro/nn/", "repro/core/", "repro/baselines/")
+    _SCOPE = (
+        "repro/nn/",
+        "repro/core/",
+        "repro/baselines/",
+        "repro/retrieval/",
+    )
     _EXEMPT = ("repro/nn/tensor.py",)
 
     def applies_to(self, relpath: str) -> bool:

@@ -11,7 +11,7 @@ ranked inside the top-k of the whole item corpus?
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
@@ -21,6 +21,9 @@ from repro.data.dataset import FeatureTable, InteractionDataset
 from repro.nn.losses import in_batch_softmax_loss
 from repro.nn.optim import Adam
 from repro.nn.tensor import no_grad
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle at import)
+    from repro.retrieval import MIPSIndex
 
 __all__ = ["RetrievalTrainer", "recall_against_corpus"]
 
@@ -129,6 +132,7 @@ def recall_against_corpus(
     corpus: FeatureTable,
     k: int = 10,
     batch_size: int = 4096,
+    index: Optional["MIPSIndex"] = None,
 ) -> float:
     """Corpus-level recall@k of a retrieval-trained two-tower model.
 
@@ -145,7 +149,16 @@ def recall_against_corpus(
     k:
         Cutoff.
     batch_size:
-        Encoding chunk size.
+        Encoding *and* scoring chunk size — the dense path never
+        materialises more than ``(batch_size, len(corpus))`` scores.
+    index:
+        Optional :class:`repro.retrieval.MIPSIndex`.  When given, it is
+        rebuilt over the encoded corpus and queries route through
+        ``index.search`` — the exact code path the serving engine uses —
+        so training eval measures the retrieval stack that actually
+        serves (pass an IVF index to measure its recall loss directly).
+        Ties at the k-th score are then broken by the index instead of
+        pessimistically.
 
     Returns
     -------
@@ -187,9 +200,25 @@ def recall_against_corpus(
     finally:
         model.train(was_training)
 
-    scores = user_vectors @ corpus_vectors.T
-    true_scores = scores[np.arange(n_queries), true_item_indices]
-    # Rank of the true item = number of corpus items scoring at least as
-    # high; ties resolved pessimistically.
-    ranks = (scores >= true_scores[:, None]).sum(axis=1)
-    return float((ranks <= k).mean())
+    hits = 0
+    if index is not None:
+        index.rebuild(corpus_vectors)
+        for start in range(0, n_queries, batch_size):
+            stop = min(start + batch_size, n_queries)
+            ids, _ = index.search(user_vectors[start:stop], k)
+            hits += int(
+                (ids == true_item_indices[start:stop, None]).any(axis=1).sum()
+            )
+    else:
+        # Batched dense scoring: one matmul per query block, rank of the
+        # true item = number of corpus items scoring at least as high
+        # (ties resolved pessimistically).
+        for start in range(0, n_queries, batch_size):
+            stop = min(start + batch_size, n_queries)
+            scores = user_vectors[start:stop] @ corpus_vectors.T
+            true_scores = scores[
+                np.arange(stop - start), true_item_indices[start:stop]
+            ]
+            ranks = (scores >= true_scores[:, None]).sum(axis=1)
+            hits += int((ranks <= k).sum())
+    return float(hits / n_queries)

@@ -27,13 +27,13 @@ from repro.core.atnn import ATNN
 from repro.core.popularity import PopularityPredictor
 from repro.data.dataset import FeatureTable
 from repro.data.schema import GROUP_ITEM_PROFILE, GROUP_ITEM_STAT, GROUP_USER
-from repro.data.synthetic.common import sigmoid
 from repro.nn.tensor import no_grad
 from repro.obs.context import request_scope
 from repro.obs.metrics import get_active_registry
 from repro.obs.quality import get_active_monitor
 from repro.obs.slo import get_active_slo_tracker
 from repro.obs.tracing import maybe_span
+from repro.retrieval import MIPSIndex, make_index
 from repro.serving.events import Event, event_columns
 from repro.serving.feature_store import ItemStatisticsStore
 
@@ -51,16 +51,34 @@ class EngineConfig:
         the statistics-aware encoder path.
     batch_size:
         Tower inference chunk size.
+    index_kind:
+        MIPS index backing ``top_k`` / ``recommend_for_user``:
+        ``"bruteforce"`` (exact, the default) or ``"ivf"`` (approximate,
+        for million-item catalogues — see ``docs/retrieval.md``).
+    ivf_nlist:
+        IVF partition count; ``None`` sizes it to ``~sqrt(catalogue)``.
+    ivf_nprobe:
+        IVF partitions probed per query.
     """
 
     warm_view_threshold: int = 50
     batch_size: int = 4096
+    index_kind: str = "bruteforce"
+    ivf_nlist: Optional[int] = None
+    ivf_nprobe: int = 8
 
     def __post_init__(self) -> None:
         if self.warm_view_threshold < 1:
             raise ValueError(
                 f"warm_view_threshold must be >= 1, got {self.warm_view_threshold}"
             )
+        if self.index_kind not in ("bruteforce", "ivf"):
+            raise ValueError(
+                "index_kind must be 'bruteforce' or 'ivf', got "
+                f"{self.index_kind!r}"
+            )
+        if self.ivf_nprobe < 1:
+            raise ValueError(f"ivf_nprobe must be >= 1, got {self.ivf_nprobe}")
 
 
 class RealTimeEngine:
@@ -100,7 +118,11 @@ class RealTimeEngine:
         self._generator_vectors: Optional[np.ndarray] = None
         self._fresh = False
         self._dirty: set = set()
+        # Cached top-k order: the best `_order_k` slots from the MIPS
+        # index, serving any `k <= _order_k` as a slice.
         self._order: Optional[np.ndarray] = None
+        self._order_k = 0
+        self._index: Optional[MIPSIndex] = None
         self._events_seen = 0
         self._refreshes = 0
 
@@ -118,7 +140,9 @@ class RealTimeEngine:
             if applied:
                 self._dirty.update(np.unique(columns[1]).tolist())
             self._fresh = False
-            self._order = None
+            # The cached top-k order is NOT invalidated here: the next
+            # refresh drops it only if scores actually changed (events on
+            # cold slots leave generator scores — and the order — intact).
             ctx.note("events_applied", applied)
             ctx.note("dirty_slots", len(self._dirty))
             registry = get_active_registry()
@@ -160,6 +184,45 @@ class RealTimeEngine:
         names = self.model.schema.all_column_names(GROUP_ITEM_PROFILE)
         return {name: self.catalogue[name][slots] for name in names}
 
+    def _generator_vectors_for(self, slots: np.ndarray) -> np.ndarray:
+        """Generator-path vectors for ``slots`` (profiles + zero stats)."""
+        features = self._profile_features(slots)
+        for name in self.model.schema.numeric_names(GROUP_ITEM_STAT):
+            features[name] = np.zeros(slots.size)
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            with no_grad(), maybe_span("generator"):
+                return self.model.generated_item_vectors(features).data
+        finally:
+            self.model.train(was_training)
+
+    def _make_index(self, dim: int, dtype) -> MIPSIndex:
+        return make_index(
+            self.config.index_kind,
+            dim,
+            dtype=dtype,
+            **(
+                {
+                    "nlist": self.config.ivf_nlist,
+                    "nprobe": self.config.ivf_nprobe,
+                    "expected_size": len(self.catalogue),
+                }
+                if self.config.index_kind == "ivf"
+                else {}
+            ),
+        )
+
+    def _popularity_query(self) -> np.ndarray:
+        """The MIPS query whose top-k *is* the popularity top-k.
+
+        The scoring head's logit is ``item · (weight ⊙ user) + bias`` and
+        the sigmoid is monotone, so ranking by inner product against the
+        transformed mean user vector reproduces the score ranking.
+        """
+        head = self.model.scoring_head
+        return head.weight.data * self.predictor.mean_user_vector
+
     def refresh(self, full: bool = False) -> np.ndarray:
         """Recompute popularity, re-scoring only stale slots when possible.
 
@@ -191,15 +254,10 @@ class RealTimeEngine:
             with no_grad(), maybe_span("engine.refresh"):
                 warm = self.store.warm_slots(self.config.warm_view_threshold)
                 if full:
-                    slots = np.arange(n)
-                    features = self._profile_features(slots)
                     # Statistic columns default to zero (cold) ...
-                    for name in self.model.schema.numeric_names(GROUP_ITEM_STAT):
-                        features[name] = np.zeros(n)
-                    with maybe_span("generator"):
-                        self._generator_vectors = (
-                            self.model.generated_item_vectors(features).data
-                        )
+                    self._generator_vectors = self._generator_vectors_for(
+                        np.arange(n)
+                    )
                     item_vectors = self._generator_vectors.copy()
                     stale = warm
                 else:
@@ -237,10 +295,24 @@ class RealTimeEngine:
                     item_vectors[stale]
                 )
                 self._scores = scores
+        # Index maintenance: a full pass rebuilds; a dirty-slot pass
+        # updates the touched rows in place (no rebuild, no global
+        # re-ranking) and the cached top-k order is dropped only when
+        # scores actually changed.
+        if full:
+            if self._index is None or self._index.dim != item_vectors.shape[1]:
+                self._index = self._make_index(
+                    item_vectors.shape[1], item_vectors.dtype
+                )
+            self._index.rebuild(item_vectors)
+        elif stale.size:
+            self._index.update(stale, item_vectors[stale])
+        if full or stale.size:
+            self._order = None
+            self._order_k = 0
         self._item_vectors = item_vectors
         self._dirty.clear()
         self._fresh = True
-        self._order = None
         self._refreshes += 1
         ctx.note("full_refresh", bool(full))
         ctx.note("warm_items", int(warm.size))
@@ -286,19 +358,23 @@ class RealTimeEngine:
     def top_k(self, k: int) -> np.ndarray:
         """The ``k`` most popular catalogue slots, best first.
 
-        The full descending order is computed once per refresh and cached,
-        so repeated queries (any ``k``, including ``k == n``) between
-        ingests cost a slice.
+        Served through the MIPS index (``config.index_kind``): exact with
+        the brute-force index, approximate-but-fast with IVF.  The order
+        for the largest ``k`` seen since scores last changed is cached,
+        so any ``k <= cached_k`` between ingests costs a slice.
         """
         with request_scope("top_k") as ctx:
             scores = self.scores()
             if not 1 <= k <= scores.size:
                 raise ValueError(f"k must be in [1, {scores.size}], got {k}")
+            hit = self._order is not None and k <= self._order_k
             ctx.note("k", int(k))
-            ctx.note("order_cache_hit", self._order is not None)
-            if self._order is None:
+            ctx.note("order_cache_hit", hit)
+            if not hit:
                 with maybe_span("engine.rank"):
-                    self._order = np.argsort(scores)[::-1]
+                    ids, _ = self._index.search(self._popularity_query(), k)
+                    self._order = ids
+                    self._order_k = k
             served = self._order[:k]
             ctx.note("served_slots", int(served.size))
             return served
@@ -306,6 +382,87 @@ class RealTimeEngine:
     def top_promotion_candidates(self, k: int) -> np.ndarray:
         """Smart selection: the k most popular catalogue slots."""
         return self.top_k(k)
+
+    @property
+    def index(self) -> Optional[MIPSIndex]:
+        """The live MIPS index (None before the first refresh)."""
+        return self._index
+
+    # ------------------------------------------------------------------
+    # Catalogue growth (new-arrival flood)
+    # ------------------------------------------------------------------
+    def add_arrivals(self, arrivals: FeatureTable) -> np.ndarray:
+        """Append brand-new items to the live catalogue; returns their slots.
+
+        The paper's setting is a *constant flood* of new arrivals.  This
+        path makes them servable without a catalogue rebuild: profiles are
+        appended, the statistics store grows, generator-path vectors are
+        encoded for the new slots and **inserted incrementally into the
+        MIPS index**, so the items are retrievable by ``top_k`` /
+        ``recommend_for_user`` immediately — no full refresh required.
+
+        ``arrivals`` must carry every item-profile column; statistic
+        columns are ignored (new items are cold by definition).
+        """
+        with request_scope("add_arrivals") as ctx:
+            n_new = len(arrivals)
+            if n_new < 1:
+                raise ValueError("add_arrivals needs at least one item")
+            profile_names = self.model.schema.all_column_names(
+                GROUP_ITEM_PROFILE
+            )
+            missing = [name for name in profile_names if name not in arrivals]
+            if missing:
+                raise KeyError(f"missing item profile columns: {missing}")
+            start_slot = len(self.catalogue)
+            merged = {}
+            for name, column in self.catalogue.columns.items():
+                extra = (
+                    np.asarray(arrivals[name])
+                    if name in arrivals
+                    else np.zeros(n_new, dtype=column.dtype)
+                )
+                merged[name] = np.concatenate(
+                    [column, extra.astype(column.dtype, copy=False)]
+                )
+            self.catalogue = FeatureTable(merged)
+            self.store.grow(n_new)
+            slots = np.arange(start_slot, start_slot + n_new)
+            if self._generator_vectors is not None:
+                # Live engine: score + index the new slots right away.
+                vectors = self._generator_vectors_for(slots)
+                self._generator_vectors = np.concatenate(
+                    [self._generator_vectors, vectors]
+                )
+                self._item_vectors = np.concatenate(
+                    [self._item_vectors, vectors]
+                )
+                self._scores = np.concatenate(
+                    [
+                        self._scores,
+                        self.predictor.score_item_vectors(vectors),
+                    ]
+                )
+                assigned = self._index.add(vectors)
+                if assigned[0] != start_slot:  # pragma: no cover - invariant
+                    raise RuntimeError(
+                        "index ids drifted from catalogue slots: "
+                        f"{assigned[0]} != {start_slot}"
+                    )
+                # New items can enter the top-k: the cached order is stale.
+                self._order = None
+                self._order_k = 0
+            ctx.note("items_added", int(n_new))
+            ctx.note("catalogue_size", len(self.catalogue))
+            registry = get_active_registry()
+            if registry is not None:
+                registry.counter("engine.items_added").inc(n_new)
+            monitor = get_active_monitor()
+            if monitor is not None:
+                monitor.attach_catalogue(
+                    len(self.catalogue), self.config.warm_view_threshold
+                )
+            return slots
 
     def recommend_for_user(
         self, user_features: Dict[str, np.ndarray], k: int
@@ -342,19 +499,19 @@ class RealTimeEngine:
             finally:
                 self.model.train(was_training)
             head = self.model.scoring_head
-            logits = self._item_vectors @ (head.weight.data * user_vector)
-            logits = logits + head.bias.data[0]
-            personal = sigmoid(logits)
-            if not 1 <= k <= personal.size:
+            if not 1 <= k <= len(self._index):
                 raise ValueError(
-                    f"k must be in [1, {personal.size}], got {k}"
+                    f"k must be in [1, {len(self._index)}], got {k}"
                 )
             ctx.note("k", int(k))
-            top = np.argpartition(personal, -k)[-k:]
+            # Personalised top-k is a MIPS against this user's transformed
+            # vector; bias + sigmoid are monotone so ranking by raw inner
+            # product is the ranking by probability.
+            top, _ = self._index.search(head.weight.data * user_vector, k)
             registry = get_active_registry()
             if registry is not None:
                 registry.counter("engine.recommend_requests").inc()
                 registry.histogram("engine.recommend_seconds").observe(
                     time.perf_counter() - start
                 )
-            return top[np.argsort(personal[top])[::-1]]
+            return top

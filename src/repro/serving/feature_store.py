@@ -92,6 +92,24 @@ class ItemStatisticsStore:
         self._unique_users = np.zeros(n_slots, dtype=np.int64)
         self._seen_pairs = np.empty(0, dtype=np.int64)  # sorted packed keys
 
+    def grow(self, n_new: int) -> int:
+        """Extend the store with ``n_new`` zero-traffic slots.
+
+        Supports the engine's new-arrival path: freshly added catalogue
+        slots start cold (all counters zero) and warm up through normal
+        ingestion.  Returns the new slot count.
+        """
+        if n_new < 1:
+            raise ValueError(f"n_new must be >= 1, got {n_new}")
+        self._counts = np.hstack(
+            [self._counts, np.zeros((self._counts.shape[0], n_new), dtype=np.int64)]
+        )
+        self._unique_users = np.concatenate(
+            [self._unique_users, np.zeros(n_new, dtype=np.int64)]
+        )
+        self.n_slots += n_new
+        return self.n_slots
+
     # ------------------------------------------------------------------
     def ingest(self, events: Sequence[Event], columns=None) -> int:
         """Apply a batch of events; returns how many were applied.

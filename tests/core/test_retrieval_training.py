@@ -166,3 +166,66 @@ class TestRecallEvaluation:
             model, user_rows, true_items, world.items, k=len(world.items)
         )
         assert recall == 1.0
+
+    def test_index_path_matches_dense_path(
+        self, retrieval_setup, tiny_tower_config
+    ):
+        """Serving-stack eval: a brute-force index reproduces the dense
+        matmul recall exactly (same scores, same top-k sets)."""
+        from repro.retrieval import BruteForceIndex
+
+        world, _, _, user_rows, true_items = retrieval_setup
+        model = TwoTowerModel(
+            world.schema, tiny_tower_config, rng=np.random.default_rng(1)
+        )
+        dense = recall_against_corpus(
+            model, user_rows, true_items, world.items, k=25
+        )
+        indexed = recall_against_corpus(
+            model,
+            user_rows,
+            true_items,
+            world.items,
+            k=25,
+            index=BruteForceIndex(tiny_tower_config.vector_dim),
+        )
+        assert indexed == pytest.approx(dense)
+
+    def test_ivf_full_probe_matches_dense_path(
+        self, retrieval_setup, tiny_tower_config
+    ):
+        from repro.retrieval import IVFIndex
+
+        world, _, _, user_rows, true_items = retrieval_setup
+        model = TwoTowerModel(
+            world.schema, tiny_tower_config, rng=np.random.default_rng(1)
+        )
+        dense = recall_against_corpus(
+            model, user_rows, true_items, world.items, k=25
+        )
+        indexed = recall_against_corpus(
+            model,
+            user_rows,
+            true_items,
+            world.items,
+            k=25,
+            index=IVFIndex(
+                tiny_tower_config.vector_dim, nlist=8, nprobe=8, seed=0
+            ),
+        )
+        assert indexed == pytest.approx(dense)
+
+    def test_batch_size_does_not_change_recall(
+        self, retrieval_setup, tiny_tower_config
+    ):
+        world, _, _, user_rows, true_items = retrieval_setup
+        model = TwoTowerModel(
+            world.schema, tiny_tower_config, rng=np.random.default_rng(1)
+        )
+        small = recall_against_corpus(
+            model, user_rows, true_items, world.items, k=20, batch_size=37
+        )
+        large = recall_against_corpus(
+            model, user_rows, true_items, world.items, k=20, batch_size=100_000
+        )
+        assert small == pytest.approx(large)

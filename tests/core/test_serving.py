@@ -264,19 +264,42 @@ class TestTopKCache:
             engine.top_k(7), engine.top_promotion_candidates(7)
         )
 
-    def test_order_cached_until_ingest(self, engine, tiny_tmall_world, rng):
+    def test_smaller_k_served_from_cached_order(self, engine):
+        order_9 = engine.top_k(9)
+        cached = engine._order
+        assert cached is not None and engine._order_k == 9
+        top_3 = engine.top_k(3)
+        assert engine._order is cached  # k <= cached_k: pure slice
+        np.testing.assert_array_equal(top_3, order_9[:3])
+
+    def test_larger_k_recomputes(self, engine):
         engine.top_k(3)
         cached = engine._order
-        assert cached is not None
         engine.top_k(9)
-        assert engine._order is cached  # no recompute between ingests
+        assert engine._order is not cached
+        assert engine._order_k == 9
+
+    def test_order_invalidated_by_warm_dirty_refresh(
+        self, engine, tiny_tmall_world, rng
+    ):
+        engine.top_k(3)
         events = generate_event_stream(
             tiny_tmall_world, np.array([3]), n_events=200, rng=rng
         )
         engine.ingest(events)
-        assert engine._order is None  # invalidated
+        engine.scores()  # partial refresh re-scores slot 3
+        assert engine._order is None  # invalidated: scores changed
         engine.top_k(3)
         assert engine._order is not None
+
+    def test_order_survives_cold_only_ingest(self, engine, tiny_tmall_world):
+        """Events below the warm threshold leave scores — and the cached
+        top-k order — untouched."""
+        engine.top_k(5)
+        cached = engine._order
+        engine.ingest([Event(EventKind.VIEW, item_id=6, user_id=0, timestamp=0.0)])
+        engine.scores()  # refresh runs, but no slot was re-scored
+        assert engine._order is cached
 
     def test_top_k_validation_bounds(self, engine):
         scores = engine.scores()
@@ -284,3 +307,170 @@ class TestTopKCache:
             engine.top_k(0)
         with pytest.raises(ValueError):
             engine.top_k(scores.size + 1)
+
+
+class TestMIPSIndexServing:
+    """The engine's retrieval queries route through the MIPS index."""
+
+    def test_index_built_on_first_refresh(self, engine):
+        assert engine.index is None
+        engine.refresh()
+        assert engine.index is not None
+        assert len(engine.index) == len(engine.catalogue)
+
+    def test_top_k_matches_score_order(self, engine):
+        scores = engine.scores()
+        top = engine.top_k(10)
+        np.testing.assert_allclose(
+            scores[top], np.sort(scores)[::-1][:10]
+        )
+
+    def test_recommend_matches_exact_personal_scores(
+        self, engine, tiny_tmall_world
+    ):
+        """The index-served personalised top-k equals the dense ranking."""
+        from repro.data.synthetic.common import sigmoid
+
+        world = tiny_tmall_world
+        user_row = {
+            name: world.users[name][:1]
+            for name in world.schema.all_column_names("user")
+        }
+        recommendations = engine.recommend_for_user(user_row, k=6)
+        # Dense reference: sigmoid(iv @ (w ⊙ u) + b), ranked descending.
+        model = engine.model
+        from repro.nn.tensor import no_grad
+
+        model.eval()
+        with no_grad():
+            user_vector = model.user_vectors(user_row).data[0]
+        head = model.scoring_head
+        personal = sigmoid(
+            engine._item_vectors @ (head.weight.data * user_vector)
+            + head.bias.data[0]
+        )
+        np.testing.assert_allclose(
+            personal[recommendations], np.sort(personal)[::-1][:6]
+        )
+
+    def test_ivf_engine_with_full_probe_matches_bruteforce(
+        self, tiny_tmall_world, serving_model, rng
+    ):
+        world = tiny_tmall_world
+        exact = RealTimeEngine(
+            serving_model,
+            world.new_items,
+            world.active_user_group(0.2),
+            EngineConfig(warm_view_threshold=5),
+        )
+        approx = RealTimeEngine(
+            serving_model,
+            world.new_items,
+            world.active_user_group(0.2),
+            EngineConfig(
+                warm_view_threshold=5,
+                index_kind="ivf",
+                ivf_nlist=8,
+                ivf_nprobe=8,  # full probe: exact
+            ),
+        )
+        events = generate_event_stream(
+            world, np.arange(30), n_events=400, rng=rng
+        )
+        for eng in (exact, approx):
+            eng.refresh()
+            eng.ingest(events)
+        assert set(exact.top_k(12).tolist()) == set(approx.top_k(12).tolist())
+
+    def test_dirty_slot_refresh_updates_index_rows_in_place(
+        self, engine, tiny_tmall_world, rng
+    ):
+        """After a partial refresh the index rows equal the live vectors —
+        no rebuild, no stale entries."""
+        engine.refresh()
+        index_before = engine.index
+        events = generate_event_stream(
+            tiny_tmall_world, np.array([3, 8]), n_events=250, rng=rng
+        )
+        engine.ingest(events)
+        engine.refresh()
+        assert engine.index is index_before  # same object, updated in place
+        np.testing.assert_allclose(
+            np.asarray(engine.index.vectors, dtype=np.float64),
+            engine._item_vectors,
+        )
+
+    def test_invalid_index_config_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(index_kind="faiss")
+        with pytest.raises(ValueError):
+            EngineConfig(index_kind="ivf", ivf_nprobe=0)
+
+
+class TestAddArrivals:
+    """Catalogue growth: new cold items are searchable immediately."""
+
+    def _arrivals(self, world, rows):
+        names = world.schema.all_column_names("item_profile")
+        return type(world.new_items)(
+            {name: world.items[name][rows] for name in names}
+        )
+
+    def test_new_items_searchable_without_refresh(
+        self, engine, tiny_tmall_world
+    ):
+        engine.refresh()
+        n_before = len(engine.catalogue)
+        refreshes_before = engine.refreshes
+        arrivals = self._arrivals(tiny_tmall_world, np.arange(4))
+        slots = engine.add_arrivals(arrivals)
+        np.testing.assert_array_equal(
+            slots, np.arange(n_before, n_before + 4)
+        )
+        assert len(engine.catalogue) == n_before + 4
+        assert len(engine.index) == n_before + 4
+        assert engine.scores().shape == (n_before + 4,)
+        assert engine.refreshes == refreshes_before  # no refresh happened
+        # The full ranking now includes the new slots.
+        order = engine.top_k(n_before + 4)
+        assert set(slots.tolist()) <= set(order.tolist())
+
+    def test_new_item_scores_match_generator_path(
+        self, engine, tiny_tmall_world
+    ):
+        """add_arrivals scores equal what a full refresh would compute."""
+        engine.refresh()
+        arrivals = self._arrivals(tiny_tmall_world, np.arange(6))
+        slots = engine.add_arrivals(arrivals)
+        incremental = engine.scores()[slots].copy()
+        full = engine.refresh(full=True)[slots]
+        np.testing.assert_allclose(incremental, full)
+
+    def test_store_grows_and_ingests_for_new_slots(
+        self, engine, tiny_tmall_world
+    ):
+        engine.refresh()
+        slots = engine.add_arrivals(self._arrivals(tiny_tmall_world, [0]))
+        new_slot = int(slots[0])
+        engine.ingest(
+            [Event(EventKind.VIEW, item_id=new_slot, user_id=1, timestamp=0.0)]
+        )
+        assert engine.store.counters(new_slot).views == 1
+
+    def test_arrivals_before_first_refresh(self, engine, tiny_tmall_world):
+        slots = engine.add_arrivals(self._arrivals(tiny_tmall_world, [0, 1]))
+        scores = engine.scores()  # first refresh covers everything
+        assert scores.shape == (len(engine.catalogue),)
+        assert len(engine.index) == len(engine.catalogue)
+        assert slots[-1] == len(engine.catalogue) - 1
+
+    def test_missing_profile_columns_rejected(self, engine, tiny_tmall_world):
+        from repro.data.dataset import FeatureTable
+
+        engine.refresh()
+        with pytest.raises(KeyError):
+            engine.add_arrivals(FeatureTable({"brand_id": np.array([0])}))
+
+    def test_store_grow_validation(self):
+        with pytest.raises(ValueError):
+            ItemStatisticsStore(3).grow(0)

@@ -1,0 +1,189 @@
+"""MIPS index interface + brute-force oracle tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import default_dtype
+from repro.retrieval import BruteForceIndex, IVFIndex, make_index, recall_at_k
+
+
+def _naive_top_k(data: np.ndarray, query: np.ndarray, k: int) -> np.ndarray:
+    """Reference: full argsort by descending inner product."""
+    return np.argsort(data @ query)[::-1][:k]
+
+
+class TestBruteForceParity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(2, 300),
+        dim=st.integers(1, 24),
+    )
+    def test_search_matches_naive_argsort(self, seed, n, dim):
+        """Property: the oracle's top-k set and score order are exact."""
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(n, dim))
+        query = rng.normal(size=dim)
+        k = int(rng.integers(1, n + 1))
+
+        index = BruteForceIndex(dim)
+        index.add(data)
+        ids, scores = index.search(query, k)
+
+        reference = _naive_top_k(data, query, k)
+        exact = data @ query
+        # Score sequences must match exactly (tie order may differ).
+        np.testing.assert_allclose(scores, exact[reference])
+        np.testing.assert_allclose(exact[ids], exact[reference])
+        # Away from ties the id sets agree.
+        if np.unique(exact).size == exact.size:
+            assert set(ids.tolist()) == set(reference.tolist())
+
+    def test_batch_queries_match_single_queries(self, rng):
+        data = rng.normal(size=(100, 8))
+        queries = rng.normal(size=(5, 8))
+        index = BruteForceIndex(8)
+        index.add(data)
+        batch_ids, batch_scores = index.search(queries, 7)
+        assert batch_ids.shape == (5, 7) and batch_scores.shape == (5, 7)
+        for row in range(5):
+            one_ids, one_scores = index.search(queries[row], 7)
+            np.testing.assert_array_equal(one_ids, batch_ids[row])
+            np.testing.assert_allclose(one_scores, batch_scores[row])
+
+
+class TestIndexContract:
+    def test_ids_assigned_densely_across_adds(self, rng):
+        index = BruteForceIndex(4)
+        first = index.add(rng.normal(size=(3, 4)))
+        second = index.add(rng.normal(size=(5, 4)))
+        np.testing.assert_array_equal(first, [0, 1, 2])
+        np.testing.assert_array_equal(second, [3, 4, 5, 6, 7])
+        assert len(index) == 8
+
+    def test_update_overwrites_in_place(self, rng):
+        index = BruteForceIndex(4)
+        index.add(rng.normal(size=(10, 4)))
+        spike = np.full((1, 4), 50.0)
+        index.update(np.array([7]), spike)
+        ids, _ = index.search(spike[0], 1)
+        assert ids[0] == 7
+
+    def test_rebuild_resets_contents(self, rng):
+        index = BruteForceIndex(4)
+        index.add(rng.normal(size=(10, 4)))
+        index.rebuild(rng.normal(size=(3, 4)))
+        assert len(index) == 3
+
+    def test_validation_errors(self, rng):
+        index = BruteForceIndex(4)
+        with pytest.raises(ValueError):
+            index.add(rng.normal(size=(3, 5)))  # wrong dim
+        index.add(rng.normal(size=(3, 4)))
+        with pytest.raises(ValueError):
+            index.search(rng.normal(size=4), 0)  # k too small
+        with pytest.raises(ValueError):
+            index.search(rng.normal(size=4), 4)  # k > ntotal
+        with pytest.raises(ValueError):
+            index.search(rng.normal(size=5), 1)  # query dim mismatch
+        with pytest.raises(IndexError):
+            index.update(np.array([3]), rng.normal(size=(1, 4)))
+        with pytest.raises(ValueError):
+            index.update(np.array([0, 1]), rng.normal(size=(1, 4)))
+        with pytest.raises(ValueError):
+            BruteForceIndex(0)
+
+    def test_empty_index_rejects_search(self, rng):
+        with pytest.raises(ValueError):
+            BruteForceIndex(4).search(rng.normal(size=4), 1)
+
+    def test_single_row_index(self, rng):
+        index = BruteForceIndex(4)
+        index.add(rng.normal(size=(1, 4)))
+        ids, scores = index.search(rng.normal(size=4), 1)
+        assert ids.shape == (1,) and ids[0] == 0
+
+
+class TestDtype:
+    """The ATN002-class invariant: no silent float64 promotion."""
+
+    def test_storage_honors_default_dtype(self, rng):
+        with default_dtype(np.float32):
+            index = BruteForceIndex(4)
+            index.add(rng.normal(size=(6, 4)))  # float64 input is cast
+            assert index.dtype == np.float32
+            assert index.vectors.dtype == np.float32
+            _, scores = index.search(rng.normal(size=4), 3)
+            assert scores.dtype == np.float32
+
+    def test_ivf_storage_honors_default_dtype(self, rng):
+        with default_dtype(np.float32):
+            index = IVFIndex(4, nlist=2, nprobe=2, train_floor=4)
+            index.add(rng.normal(size=(32, 4)))
+            assert index.trained
+            assert index._centroids.dtype == np.float32
+            for part in index._part_vectors:
+                assert part.dtype == np.float32
+            _, scores = index.search(rng.normal(size=4), 3)
+            assert scores.dtype == np.float32
+
+    def test_explicit_dtype_overrides_default(self, rng):
+        index = BruteForceIndex(4, dtype=np.float32)
+        index.add(rng.normal(size=(6, 4)))
+        assert index.vectors.dtype == np.float32
+
+
+class TestFactory:
+    def test_bruteforce_kind(self):
+        assert isinstance(make_index("bruteforce", 8), BruteForceIndex)
+
+    def test_ivf_kind_auto_nlist(self):
+        index = make_index("ivf", 8, expected_size=10_000)
+        assert isinstance(index, IVFIndex)
+        assert index.nlist == 100  # ~sqrt(expected_size)
+
+    def test_ivf_kind_explicit_nlist(self):
+        assert make_index("ivf", 8, nlist=17).nlist == 17
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_index("annoy", 8)
+
+    def test_nlist_rejected_for_bruteforce(self):
+        with pytest.raises(ValueError):
+            make_index("bruteforce", 8, nlist=4)
+
+
+class TestRecallAtK:
+    def test_perfect_and_partial_recall(self):
+        reference = np.array([[1, 2, 3], [4, 5, 6]])
+        assert recall_at_k(reference, reference) == 1.0
+        half = np.array([[1, 2, 9], [4, 5, 9]])
+        assert recall_at_k(reference, half) == pytest.approx(4 / 6)
+
+    def test_single_query_vectors(self):
+        assert recall_at_k(np.array([1, 2]), np.array([2, 3])) == 0.5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.array([[1, 2]]), np.array([[1, 2, 3]]))
+
+
+def test_retrieval_package_is_dtype_lint_scoped_and_clean():
+    """The new package sits inside ATN002's scope and lints clean."""
+    from pathlib import Path
+
+    from repro.analysis.lint import run_lint
+    from repro.analysis.lint.rules import Float64LiteralRule
+
+    rule = Float64LiteralRule()
+    assert rule.applies_to("src/repro/retrieval/index.py")
+    assert rule.applies_to("src/repro/retrieval/ivf.py")
+
+    repo_root = Path(__file__).resolve().parents[2]
+    diagnostics = run_lint(
+        [str(repo_root / "src" / "repro" / "retrieval")], root=repo_root
+    )
+    assert diagnostics == [], "\n".join(d.format() for d in diagnostics)
