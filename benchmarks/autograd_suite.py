@@ -229,10 +229,10 @@ def run_suite(preset: str) -> dict:
     parity = _check_parity(preset)
 
     print("[autograd-suite] dense float64 (legacy path) ...")
-    dense_f64 = _run_variant(preset, sparse=False, dtype=np.float64, profile=True)
+    dense_f64 = _run_variant(preset, sparse=False, dtype=np.float64, profile=True)  # repro-lint: disable=ATN002 -- the bench matrix compares dtypes explicitly; float64 is this variant's subject, not a default
     print(f"  {dense_f64['seconds_per_step'] * 1e3:.2f} ms/step")
     print("[autograd-suite] sparse float64 (fast path) ...")
-    sparse_f64 = _run_variant(preset, sparse=True, dtype=np.float64, profile=True)
+    sparse_f64 = _run_variant(preset, sparse=True, dtype=np.float64, profile=True)  # repro-lint: disable=ATN002 -- the bench matrix compares dtypes explicitly; float64 is this variant's subject, not a default
     print(f"  {sparse_f64['seconds_per_step'] * 1e3:.2f} ms/step")
     print("[autograd-suite] sparse float32 ...")
     sparse_f32 = _run_variant(preset, sparse=True, dtype=np.float32)
@@ -242,11 +242,11 @@ def run_suite(preset: str) -> dict:
     # above (the unpatched engine the regression gate scores), so arming
     # the sanitizer can never perturb the gated number.
     print("[autograd-suite] sparse float64 + sanitizer ...")
-    sanitized = _run_variant(preset, sparse=True, dtype=np.float64, sanitize="on")
+    sanitized = _run_variant(preset, sparse=True, dtype=np.float64, sanitize="on")  # repro-lint: disable=ATN002 -- the bench matrix compares dtypes explicitly; float64 is this variant's subject, not a default
     print(f"  {sanitized['seconds_per_step'] * 1e3:.2f} ms/step")
     print("[autograd-suite] sparse float64 + sanitizer (deep) ...")
     sanitized_deep = _run_variant(
-        preset, sparse=True, dtype=np.float64, sanitize="deep"
+        preset, sparse=True, dtype=np.float64, sanitize="deep"  # repro-lint: disable=ATN002 -- the bench matrix compares dtypes explicitly; float64 is this variant's subject, not a default
     )
     print(f"  {sanitized_deep['seconds_per_step'] * 1e3:.2f} ms/step")
 

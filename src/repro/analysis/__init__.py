@@ -8,7 +8,7 @@ Three coordinated passes (see ``docs/static_analysis.md``):
 * :mod:`repro.analysis.sanitizer` — opt-in runtime sanitizer (saved
   buffer versioning, aliased accumulation, NaN/Inf taint provenance);
 * :mod:`repro.analysis.lint` — engine-aware AST lint over the source
-  tree (rules ``ATN001``–``ATN004``).
+  tree (rules ``ATN001``–``ATN005``).
 
 CLI: ``python -m repro.analysis {lint,check-model,sanitize-smoke}``.
 """

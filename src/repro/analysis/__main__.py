@@ -1,10 +1,17 @@
-"""CLI driver: ``python -m repro.analysis {lint,check-model,sanitize-smoke}``.
+"""CLI driver: ``python -m repro.analysis {lint,effects,check-model,sanitize-smoke}``.
 
 Sub-commands
 ------------
 ``lint [paths...]``
-    Run the engine-aware AST rules (``ATN001``–``ATN004``) over the
-    given paths (default ``src tests``).  Exit 1 on any finding.
+    Run the engine-aware AST rules (``ATN001``–``ATN005``) over the
+    given paths (default ``src tests benchmarks``).  Exit 1 on any
+    finding.
+``effects``
+    Run the interprocedural effect & aliasing analyzer
+    (``EFF001``–``EFF008``) over ``src/repro``, apply the
+    reason-mandatory baseline, and check the generated reports for
+    drift.  ``--write-reports`` regenerates
+    ``docs/thread_hostility.md`` and ``docs/metrics_manifest.md``.
 ``check-model [names...]``
     Run the static graph checker over registry models (default: all)
     against a structurally complete demo schema, optionally under both
@@ -14,12 +21,18 @@ Sub-commands
     armed (version checks, content fingerprints, NaN/Inf taint).  Exit 1
     on any sanitizer finding or non-finite loss — the CI proof that the
     engine's buffer discipline holds on the real training path.
+
+``lint`` and ``effects`` take ``--format {text,json,github}``;
+``github`` emits workflow-command annotations so CI failures render
+inline on the diff.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
@@ -27,16 +40,76 @@ import numpy as np
 __all__ = ["main"]
 
 
+def _split_location(location: str):
+    """``path:line:col`` / ``path:line`` / ``path`` -> (path, line, col)."""
+    parts = location.split(":")
+    path, line, col = parts[0], 0, 0
+    if len(parts) > 1 and parts[1].isdigit():
+        line = int(parts[1])
+    if len(parts) > 2 and parts[2].isdigit():
+        col = int(parts[2])
+    return path, line, col
+
+
+def _emit_diagnostics(diagnostics, fmt: str) -> None:
+    from repro.analysis.diagnostics import Diagnostic, render_diagnostics
+
+    ordered = sorted(diagnostics, key=Diagnostic.sort_key)
+    if fmt == "json":
+        print(json.dumps([d.to_json() for d in ordered], indent=2))
+    elif fmt == "github":
+        for d in ordered:
+            path, line, _ = _split_location(d.location)
+            anchor = f" file={path},line={max(line, 1)}," if path else " "
+            # https://docs.github.com/actions: workflow commands render
+            # ::error/::warning lines as inline annotations on the diff.
+            print(f"::{d.severity}{anchor}title={d.code}::{d.message}")
+    else:
+        print(render_diagnostics(ordered))
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.analysis.diagnostics import render_diagnostics
     from repro.analysis.lint import run_lint
 
     diagnostics = run_lint(args.paths)
     if diagnostics:
-        print(render_diagnostics(diagnostics))
-        print(f"lint: {len(diagnostics)} finding(s)")
+        _emit_diagnostics(diagnostics, args.format)
+        print(f"lint: {len(diagnostics)} finding(s)", file=sys.stderr)
         return 1
-    print(f"lint: clean ({', '.join(args.paths)})")
+    if args.format == "json":
+        # An empty array, not empty output: consumers parse stdout either way.
+        _emit_diagnostics([], args.format)
+    else:
+        print(f"lint: clean ({', '.join(args.paths)})")
+    return 0
+
+
+def _cmd_effects(args: argparse.Namespace) -> int:
+    from repro.analysis.effects import run_effects
+
+    result = run_effects(
+        Path(args.root),
+        baseline_path=Path(args.baseline) if args.baseline else None,
+        write_reports=args.write_reports,
+    )
+    summary = (
+        f"effects: {len(result.analysis.modules)} modules, "
+        f"{len(result.analysis.functions)} functions, "
+        f"{len(result.manifest.names())} instrument names, "
+        f"{len(result.suppressed)} baselined finding(s)"
+    )
+    if result.diagnostics:
+        _emit_diagnostics(result.diagnostics, args.format)
+        print(
+            f"{summary}, {len(result.diagnostics)} unsuppressed finding(s)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.format == "json":
+        _emit_diagnostics([], args.format)
+    else:
+        written = " (reports written)" if args.write_reports else ""
+        print(f"{summary} — clean{written}")
     return 0
 
 
@@ -130,8 +203,30 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     lint = sub.add_parser("lint", help="run the engine-aware AST lint rules")
-    lint.add_argument("paths", nargs="*", default=["src", "tests"])
+    lint.add_argument("paths", nargs="*", default=["src", "tests", "benchmarks"])
+    lint.add_argument(
+        "--format", default="text", choices=["text", "json", "github"]
+    )
     lint.set_defaults(func=_cmd_lint)
+
+    effects = sub.add_parser(
+        "effects", help="interprocedural effect & aliasing analysis"
+    )
+    effects.add_argument("--root", default=".", help="repo root (default: cwd)")
+    effects.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file (default: <root>/effects_baseline.json)",
+    )
+    effects.add_argument(
+        "--write-reports",
+        action="store_true",
+        help="regenerate docs/thread_hostility.md and docs/metrics_manifest.md",
+    )
+    effects.add_argument(
+        "--format", default="text", choices=["text", "json", "github"]
+    )
+    effects.set_defaults(func=_cmd_effects)
 
     check = sub.add_parser("check-model", help="static graph checks over models")
     check.add_argument("models", nargs="*", help="registry names (default: all)")

@@ -80,6 +80,30 @@ class Diagnostic:
         """Look up one ``details`` value (empty string when absent)."""
         return dict(self.details).get(key, "")
 
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serialisable dict; inverse of :meth:`from_json`."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "location": self.location,
+            "details": {key: value for key, value in self.details},
+        }
+
+    @staticmethod
+    def from_json(payload: Dict[str, object]) -> "Diagnostic":
+        """Rebuild a diagnostic from :meth:`to_json` output."""
+        details = payload.get("details", {})
+        if not isinstance(details, dict):
+            raise ValueError(f"details must be an object, got {details!r}")
+        return Diagnostic.make(
+            str(payload["code"]),
+            str(payload["severity"]),
+            str(payload["message"]),
+            location=str(payload.get("location", "")),
+            **details,
+        )
+
 
 def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
     """Whether any diagnostic is error-severity."""

@@ -1,0 +1,292 @@
+"""Call-graph resolution over harvested modules.
+
+Turns the symbolic call references recorded by the harvester into
+function qualnames:
+
+* bare names resolve through the module import table (and module-local
+  definitions);
+* ``self.m(...)`` resolves through the enclosing class's MRO **and**
+  every subclass override (the receiver's runtime type may be any
+  subclass, so reachability must include them);
+* ``obj.m(...)`` resolves when ``obj`` is a module alias, an annotated
+  parameter, or a ``self.<attr>`` whose type was inferred from its
+  constructor call / annotation;
+* a call used as a ``with`` item additionally contributes
+  ``__enter__`` / ``__exit__`` edges of the context-manager class
+  (resolved from the callee class, or from a function callee's return
+  annotation).
+
+Resolution is deliberately best-effort: an unresolvable reference adds
+no edge (the analysis under-approximates reachability there), while a
+call through a base type adds every override (over-approximates).  Both
+choices favour a stable, reviewable report over precision.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.effects.model import (
+    CallSite,
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+)
+
+__all__ = ["CallGraphBuilder"]
+
+_WRAPPER_RE = re.compile(
+    r"^(?:typing\.)?(?:Optional|List|Sequence|Tuple|Dict|Iterable|"
+    r"Iterator|Union)\[(?P<inner>.*)\]$"
+)
+
+
+class CallGraphBuilder:
+    """Resolves call sites against the full set of harvested modules."""
+
+    def __init__(self, modules: Dict[str, ModuleInfo]) -> None:
+        self.modules = modules
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        for module in modules.values():
+            for info in module.functions.values():
+                self.functions[info.qualname] = info
+            for cls in module.classes.values():
+                self.classes[cls.qualname] = cls
+                for info in cls.methods.values():
+                    self.functions[info.qualname] = info
+        self._resolved_bases: Dict[str, List[str]] = {}
+        self._subclasses: Dict[str, Set[str]] = {}
+        self._build_hierarchy()
+
+    # ------------------------------------------------------------------
+    # Class hierarchy
+    # ------------------------------------------------------------------
+    def _resolve_class_name(
+        self, text: str, module: ModuleInfo
+    ) -> Optional[str]:
+        """Textual annotation / base reference -> class qualname."""
+        text = text.strip().strip("\"'")
+        match = _WRAPPER_RE.match(text)
+        if match:
+            # Optional[X] / Union[X, None] -> first non-None member.
+            inner = match.group("inner")
+            for piece in inner.split(","):
+                piece = piece.strip()
+                if piece and piece != "None":
+                    return self._resolve_class_name(piece, module)
+            return None
+        if text in module.classes:
+            return module.classes[text].qualname
+        target = module.imports.get(text)
+        if target is not None and target in self.classes:
+            return target
+        if text in self.classes:
+            return text
+        # Dotted references ("module.Class") through an import alias.
+        if "." in text:
+            head, _, tail = text.partition(".")
+            base = module.imports.get(head)
+            if base is not None and f"{base}.{tail}" in self.classes:
+                return f"{base}.{tail}"
+        return None
+
+    def _build_hierarchy(self) -> None:
+        for cls in self.classes.values():
+            module = self.modules[cls.module]
+            resolved = []
+            for base in cls.bases:
+                base_qualname = self._resolve_class_name(base, module)
+                if base_qualname is not None:
+                    resolved.append(base_qualname)
+            self._resolved_bases[cls.qualname] = resolved
+            for base_qualname in resolved:
+                self._subclasses.setdefault(base_qualname, set()).add(
+                    cls.qualname
+                )
+
+    def mro(self, class_qualname: str) -> List[str]:
+        """Linearised ancestry by simple DFS (no diamond precision needed)."""
+        out: List[str] = []
+        stack = [class_qualname]
+        seen: Set[str] = set()
+        while stack:
+            current = stack.pop(0)
+            if current in seen or current not in self.classes:
+                continue
+            seen.add(current)
+            out.append(current)
+            stack.extend(self._resolved_bases.get(current, []))
+        return out
+
+    def all_subclasses(self, class_qualname: str) -> Set[str]:
+        out: Set[str] = set()
+        stack = list(self._subclasses.get(class_qualname, ()))
+        while stack:
+            current = stack.pop()
+            if current in out:
+                continue
+            out.add(current)
+            stack.extend(self._subclasses.get(current, ()))
+        return out
+
+    # ------------------------------------------------------------------
+    # Method / callable resolution
+    # ------------------------------------------------------------------
+    def _method_in_mro(
+        self, class_qualname: str, method: str
+    ) -> Optional[str]:
+        for ancestor in self.mro(class_qualname):
+            cls = self.classes.get(ancestor)
+            if cls is not None and method in cls.methods:
+                return cls.methods[method].qualname
+        return None
+
+    def method_targets(self, class_qualname: str, method: str) -> List[str]:
+        """MRO resolution plus every subclass override."""
+        targets: List[str] = []
+        base = self._method_in_mro(class_qualname, method)
+        if base is not None:
+            targets.append(base)
+        for sub in self.all_subclasses(class_qualname):
+            cls = self.classes.get(sub)
+            if cls is not None and method in cls.methods:
+                targets.append(cls.methods[method].qualname)
+        return sorted(set(targets))
+
+    def _attr_class(self, cls: ClassInfo, attr: str) -> Optional[str]:
+        """Inferred class of ``self.<attr>`` (searching the MRO)."""
+        for ancestor in self.mro(cls.qualname):
+            ancestor_cls = self.classes.get(ancestor)
+            if ancestor_cls is None:
+                continue
+            hint = ancestor_cls.attr_types.get(attr)
+            if hint is None:
+                continue
+            module = self.modules[ancestor_cls.module]
+            if hint.startswith("@return:"):
+                method = self._method_in_mro(
+                    ancestor_cls.qualname, hint[len("@return:"):]
+                )
+                if method is None:
+                    return None
+                annotation = self.functions[method].return_annotation
+                if annotation is None:
+                    return None
+                return self._resolve_class_name(
+                    annotation, self.modules[self.functions[method].module]
+                )
+            return self._resolve_class_name(hint, module)
+        return None
+
+    def _global_callable(
+        self, name: str, module: ModuleInfo
+    ) -> Optional[str]:
+        """Bare-name callee -> function or class qualname."""
+        if name in module.functions:
+            return module.functions[name].qualname
+        if name in module.classes:
+            return module.classes[name].qualname
+        target = module.imports.get(name)
+        if target is None:
+            return None
+        if target in self.functions or target in self.classes:
+            return target
+        return None
+
+    # ------------------------------------------------------------------
+    # Site resolution
+    # ------------------------------------------------------------------
+    def _context_manager_edges(self, class_qualname: str) -> List[str]:
+        edges: List[str] = []
+        for dunder in ("__enter__", "__exit__"):
+            edges.extend(self.method_targets(class_qualname, dunder))
+        return edges
+
+    def _expand_callable(
+        self, target: str, is_with_item: bool
+    ) -> List[str]:
+        """A resolved callable -> concrete function edges."""
+        edges: List[str] = []
+        if target in self.classes:
+            init = self._method_in_mro(target, "__init__")
+            if init is not None:
+                edges.append(init)
+            if is_with_item:
+                edges.extend(self._context_manager_edges(target))
+        elif target in self.functions:
+            edges.append(target)
+            if is_with_item:
+                annotation = self.functions[target].return_annotation
+                if annotation is not None:
+                    returned = self._resolve_class_name(
+                        annotation,
+                        self.modules[self.functions[target].module],
+                    )
+                    if returned is not None:
+                        edges.extend(self._context_manager_edges(returned))
+        return edges
+
+    def resolve_site(
+        self, caller: FunctionInfo, site: CallSite
+    ) -> List[str]:
+        module = self.modules[caller.module]
+        ref = site.ref
+        if ref[0] == "name":
+            target = self._global_callable(ref[1], module)
+            if target is None:
+                return []
+            return self._expand_callable(target, site.is_with_item)
+        if ref[0] == "self":
+            if caller.class_name is None:
+                return []
+            cls = module.classes.get(caller.class_name)
+            if cls is None:
+                return []
+            return self.method_targets(cls.qualname, ref[1])
+        if ref[0] == "obj":
+            _, base, method = ref
+            imported = module.imports.get(base)
+            if imported is not None and imported in self.modules:
+                target_module = self.modules[imported]
+                if method in target_module.functions:
+                    return self._expand_callable(
+                        target_module.functions[method].qualname,
+                        site.is_with_item,
+                    )
+                if method in target_module.classes:
+                    return self._expand_callable(
+                        target_module.classes[method].qualname,
+                        site.is_with_item,
+                    )
+                return []
+            annotation = caller.param_annotations.get(base)
+            if annotation is not None:
+                class_qualname = self._resolve_class_name(annotation, module)
+                if class_qualname is not None:
+                    return self.method_targets(class_qualname, method)
+            return []
+        if ref[0] == "self_attr":
+            _, attr, method = ref
+            if caller.class_name is None:
+                return []
+            cls = module.classes.get(caller.class_name)
+            if cls is None:
+                return []
+            class_qualname = self._attr_class(cls, attr)
+            if class_qualname is None:
+                return []
+            return self.method_targets(class_qualname, method)
+        return []
+
+    def build(self) -> Dict[str, List[Tuple[int, str]]]:
+        """Resolve every call site of every function."""
+        calls: Dict[str, List[Tuple[int, str]]] = {}
+        for qualname, info in self.functions.items():
+            edges: List[Tuple[int, str]] = []
+            for index, site in enumerate(info.call_sites):
+                for callee in self.resolve_site(info, site):
+                    edges.append((index, callee))
+            calls[qualname] = edges
+        return calls

@@ -1,4 +1,4 @@
-"""The engine-aware lint rules (codes ``ATN001``–``ATN004``).
+"""The engine-aware lint rules (codes ``ATN001``–``ATN005``).
 
 Each rule encodes one invariant of this repo's autograd engine — they are
 not generic style checks.  ``ATN000`` (suppression without a reason) is
@@ -20,6 +20,7 @@ __all__ = [
     "Float64LiteralRule",
     "DenseScatterAddRule",
     "SparseGradDuckTypingRule",
+    "GlobalRngRule",
     "default_rules",
 ]
 
@@ -106,6 +107,7 @@ class Float64LiteralRule(LintRule):
         "repro/core/",
         "repro/baselines/",
         "repro/retrieval/",
+        "benchmarks/",
     )
     _EXEMPT = ("repro/nn/tensor.py",)
 
@@ -214,6 +216,43 @@ class SparseGradDuckTypingRule(LintRule):
             )
 
 
+class GlobalRngRule(LintRule):
+    """ATN005: no sampling through numpy's process-global RNG.
+
+    ``np.random.rand`` / ``np.random.seed`` and friends share one hidden
+    RNG across the whole process, so test order and benchmark warm-up
+    change results invisibly.  Everything must thread an explicit
+    ``np.random.default_rng(seed)`` generator — that is what keeps
+    tier-1 and bench-smoke runs reproducible.
+    """
+
+    code = "ATN005"
+    name = "global-rng"
+    description = "call through numpy's process-global RNG instead of default_rng"
+
+    _ALLOWED = ("default_rng", "Generator", "SeedSequence")
+
+    def run(self, tree: ast.AST, relpath: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr not in self._ALLOWED
+                and _is_np_attr(func.value, "random")
+            ):
+                continue
+            yield Finding(
+                self.code,
+                node.lineno,
+                node.col_offset,
+                f"np.random.{func.attr} uses the shared process-global RNG; "
+                "thread a seeded np.random.default_rng(seed) generator "
+                "instead",
+            )
+
+
 def default_rules() -> List[LintRule]:
     """The rule set ``python -m repro.analysis lint`` runs."""
     return [
@@ -221,4 +260,5 @@ def default_rules() -> List[LintRule]:
         Float64LiteralRule(),
         DenseScatterAddRule(),
         SparseGradDuckTypingRule(),
+        GlobalRngRule(),
     ]

@@ -24,7 +24,7 @@ import numpy as np
 from repro.core.atnn import ATNN
 from repro.core.two_tower import TwoTowerModel
 from repro.data.dataset import FeatureTable
-from repro.data.synthetic.common import sigmoid
+from repro.core.numeric import sigmoid
 from repro.nn.tensor import Tensor, no_grad
 
 __all__ = ["PopularityPredictor"]

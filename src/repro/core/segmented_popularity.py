@@ -27,7 +27,7 @@ from repro.core.atnn import ATNN
 from repro.core.clustering import KMeansResult, kmeans
 from repro.core.popularity import PopularityPredictor
 from repro.data.dataset import FeatureTable
-from repro.data.synthetic.common import sigmoid
+from repro.core.numeric import sigmoid
 
 __all__ = ["SegmentedPopularityPredictor"]
 

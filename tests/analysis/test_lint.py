@@ -87,6 +87,37 @@ def test_atn004_shared_api_and_engine_internals_pass(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# ATN005: numpy's process-global RNG
+# ----------------------------------------------------------------------
+def test_atn005_flags_global_rng_calls(tmp_path):
+    source = (
+        "import numpy as np\n"
+        "np.random.seed(0)\n"
+        "x = np.random.rand(3)\n"
+    )
+    diagnostics = _lint_source(tmp_path, "tests/test_foo.py", source)
+    assert _codes(diagnostics) == ["ATN005", "ATN005"]
+
+
+def test_atn005_allows_seeded_generators(tmp_path):
+    source = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng(0)\n"
+        "x = rng.random(3)\n"
+    )
+    assert _lint_source(tmp_path, "benchmarks/bench_foo.py", source) == []
+
+
+# ----------------------------------------------------------------------
+# benchmarks/ in the dtype scope (ATN002)
+# ----------------------------------------------------------------------
+def test_atn002_covers_benchmarks(tmp_path):
+    source = "import numpy as np\nx = np.zeros(3, dtype=np.float64)\n"
+    diagnostics = _lint_source(tmp_path, "benchmarks/bench_foo.py", source)
+    assert _codes(diagnostics) == ["ATN002"]
+
+
+# ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
 def test_suppression_with_reason_drops_finding(tmp_path):
@@ -130,6 +161,11 @@ def test_parse_error_reported(tmp_path):
 # ----------------------------------------------------------------------
 def test_repo_lints_clean():
     diagnostics = run_lint(
-        [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")], root=REPO_ROOT
+        [
+            str(REPO_ROOT / "src"),
+            str(REPO_ROOT / "tests"),
+            str(REPO_ROOT / "benchmarks"),
+        ],
+        root=REPO_ROOT,
     )
     assert diagnostics == [], "\n".join(d.format() for d in diagnostics)
