@@ -116,18 +116,21 @@ def test_bench_exact_auc(benchmark):
     assert value > 0.7
 
 
-def test_bench_monitor_overhead(micro_world, micro_model, save_report):
+def test_bench_monitor_overhead(micro_world, micro_model, save_report, tmp_path):
     """Serving loop with observability armed vs off: <5% overhead.
 
     The monitor's contract is that it rides the serving hot path on
-    vectorised batch updates; this A/B/C times the identical loop — a
+    vectorised batch updates; this times the identical loop — a
     production-shaped traffic mix of event ingestion, score refreshes
     and personalised queries (2 000 views per batch come from the order
     of two hundred k=10 recommendation requests) — bare, with the
-    quality monitor, and with the full stack (monitor + tracer + SLO
-    tracker + flight recorder), asserting both armed arms keep their
-    min-of-rounds ratio under the shared 1.05 budget.  The measured
-    numbers land in ``benchmarks/results/monitor_overhead.txt``.
+    quality monitor, with the full stack (monitor + tracer + SLO
+    tracker + flight recorder), and with the full stack plus a
+    :class:`~repro.obs.agg.TelemetryShipper` spooling snapshot frames,
+    asserting each armed layer keeps its min-of-rounds ratio under the
+    shared 1.05 budget (the shipper is judged against the flight arm it
+    rides on).  The measured numbers land in
+    ``benchmarks/results/monitor_overhead.txt``.
     """
     import gc
     import time as _time
@@ -138,8 +141,11 @@ def test_bench_monitor_overhead(micro_world, micro_model, save_report):
         FlightRecorder,
         QualityMonitor,
         SLOTracker,
+        TelemetryShipper,
         Tracer,
         default_serving_slos,
+        register_request_observer,
+        unregister_request_observer,
         use_flight_recorder,
         use_monitor,
         use_slo_tracker,
@@ -184,7 +190,8 @@ def test_bench_monitor_overhead(micro_world, micro_model, save_report):
             durations.append(_time.perf_counter() - start)
         return durations
 
-    ARMS = ("baseline", "monitored", "flight")
+    ARMS = ("baseline", "monitored", "flight", "shipped")
+    spool_dir = tmp_path / "spool"
 
     def timed(arm):
         # sinks=() keeps rare-event alert I/O (measured in the alert
@@ -197,9 +204,9 @@ def test_bench_monitor_overhead(micro_world, micro_model, save_report):
         gc.disable()
         try:
             with ExitStack() as stack:
-                if arm in ("monitored", "flight"):
+                if arm in ("monitored", "flight", "shipped"):
                     stack.enter_context(use_monitor(QualityMonitor(sinks=())))
-                if arm == "flight":
+                if arm in ("flight", "shipped"):
                     stack.enter_context(use_tracer(Tracer()))
                     stack.enter_context(
                         use_slo_tracker(
@@ -217,6 +224,25 @@ def test_bench_monitor_overhead(micro_world, micro_model, save_report):
                             FlightRecorder(capacity=256, auto_dump=False)
                         )
                     )
+                if arm == "shipped":
+                    # The flight stack plus snapshot shipping, so the
+                    # shipped-vs-flight gap isolates the shipper itself:
+                    # every request pays the observer pump (one clock
+                    # read) and real frame flushes (monitor + SLO +
+                    # tracer state serialised to the spool) land inside
+                    # the timed segments.  No registry is activated —
+                    # metrics recording is its own, independently
+                    # chargeable cost and the flight arm runs without
+                    # one.  The interval is far under the production
+                    # default (2 s) so flushes actually occur, without
+                    # modelling a flush rate no deployment would run.
+                    shipper = TelemetryShipper(
+                        spool_dir,
+                        process_label="bench",
+                        interval_seconds=0.25,
+                    )
+                    register_request_observer(shipper)
+                    stack.callback(unregister_request_observer, shipper)
                 return serving_loop()
         finally:
             gc.enable()
@@ -250,6 +276,11 @@ def test_bench_monitor_overhead(micro_world, micro_model, save_report):
     baseline = sum(floors["baseline"])
     monitored = sum(floors["monitored"])
     flight = sum(floors["flight"])
+    shipped = sum(floors["shipped"])
+    # The shipper rides an already-armed stack, so its own budget is
+    # judged against the flight arm: shipped/flight isolates the pump +
+    # flush cost from the (independently asserted) stack overhead.
+    shipper_ratio = shipped / flight
     save_report(
         "monitor_overhead",
         "observability-armed serving overhead "
@@ -259,7 +290,10 @@ def test_bench_monitor_overhead(micro_world, micro_model, save_report):
         f"(ratio {ratios['monitored']:.4f})\n"
         f"  monitor+tracer+slo+flight    : {flight * 1e3:.2f} ms "
         f"(ratio {ratios['flight']:.4f})\n"
-        f"  budget                       : ratio < 1.05 for both arms",
+        f"  full stack + snapshot shipping: {shipped * 1e3:.2f} ms "
+        f"(vs baseline {ratios['shipped']:.4f}, "
+        f"vs flight {shipper_ratio:.4f})\n"
+        f"  budget                       : ratio < 1.05 per armed layer",
     )
     assert ratios["monitored"] < 1.05, (
         f"quality monitor costs {100 * (ratios['monitored'] - 1):.1f}% on "
@@ -270,6 +304,11 @@ def test_bench_monitor_overhead(micro_world, micro_model, save_report):
         f"full observability stack costs {100 * (ratios['flight'] - 1):.1f}% "
         f"on the serving loop (budget 5%): baseline {baseline:.4f}s vs "
         f"{flight:.4f}s"
+    )
+    assert shipper_ratio < 1.05, (
+        f"snapshot shipping costs {100 * (shipper_ratio - 1):.1f}% on top "
+        f"of the armed stack (budget 5%): flight {flight:.4f}s vs "
+        f"shipped {shipped:.4f}s"
     )
 
 

@@ -1,0 +1,461 @@
+"""Fleet aggregation smoke: sharded workers + a merging collector.
+
+The experiment exercises the whole :mod:`repro.obs.agg` path end to
+end, the way a sharded serving deployment would:
+
+* a **router** process opens a ``route`` request, injects its trace
+  context into a carrier (:meth:`~repro.obs.context.TraceContext.\
+inject`) and spawns N **worker** subprocesses, each serving a stream of
+  requests under its own :class:`~repro.obs.session.TelemetrySession`
+  with a shard label and a :class:`~repro.obs.agg.TelemetryShipper`
+  spooling snapshot frames;
+* one shard gets an **injected latency spike** (every request sleeps
+  past the latency SLO bound) — the other shards stay clean;
+* each process dumps a flight-recorder bundle, and the first request of
+  every worker chains to the router's carrier, so the merged view can
+  stitch one cross-process tree per trace;
+* the router then runs a :class:`~repro.obs.agg.TelemetryCollector`
+  over the spool directory and asserts the fleet-level invariants:
+  merged counters equal the per-process sums exactly, merged histogram
+  quantiles match the known observation multiset within
+  ``QUANTILE_RTOL``, the router→shard trace stitches into one tree
+  spanning more than one pid, and the latency burn-rate rule fires on
+  the *merged* windows even though two of three shards were clean.
+
+CI's ``agg-smoke`` job runs this with the smoke preset::
+
+    atnn-repro agg-smoke --preset smoke
+    python -m repro.experiments.agg_smoke --output results/
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.agg import (
+    TelemetryCollector,
+    load_bundle_requests,
+    stitched_chrome_trace,
+)
+from repro.obs.context import TraceContext, request_scope, use_trace_context
+from repro.obs.flight import FlightRecorder
+from repro.obs.session import TelemetrySession
+from repro.obs.slo import SLO, SLOTracker
+from repro.obs.tracing import maybe_span
+
+__all__ = ["AggSmokeResult", "agg_slos", "run_agg_smoke", "QUANTILE_RTOL"]
+
+# Documented tolerance for merged-histogram quantiles in this smoke:
+# the observation multiset (a few hundred values) stays below the
+# histogram sample capacity, so merging concatenates full samples and
+# quantiles are exact up to rank interpolation — 10% relative slack
+# absorbs the interpolation at the multiset's value steps.
+QUANTILE_RTOL = 0.10
+
+# Spiked-shard sleep per request vs. the latency SLO bound: every
+# spiked request breaches, every clean request stays far under.
+_LATENCY_THRESHOLD = 0.005
+_SPIKE_SECONDS = 0.02
+
+
+def agg_slos(latency_threshold: float = _LATENCY_THRESHOLD) -> List[SLO]:
+    """The smoke-run SLO set, shaped for deterministic fleet merges.
+
+    ``fast_window == window`` on purpose: the multi-window burn rate is
+    ``min(fast, slow)``, and with distinct windows the *fast* burn of
+    the merged view would depend on which shard's frame merged last
+    (the replayed tail).  One shared window makes the merged burn rate
+    a pure function of the event multiset, so the spiked-shard alert
+    fires regardless of frame arrival order.
+    """
+    return [
+        SLO.latency(
+            "serving-latency",
+            latency_threshold,
+            objective=0.9,
+            window=512,
+            fast_window=512,
+            min_events=16,
+            burn_alert=2.0,
+        ),
+        SLO.availability(
+            "serving-availability",
+            objective=0.99,
+            window=512,
+            fast_window=512,
+            min_events=16,
+        ),
+    ]
+
+
+def _clean_latency(index: int) -> float:
+    """Synthetic per-request latency observation for clean traffic."""
+    return 0.001 * (1 + index % 10)
+
+
+def _expected_observations(
+    n_workers: int, events_per_worker: int, spiked_shard: int
+) -> List[float]:
+    """The exact multiset of ``agg.latency`` observations, fleet-wide."""
+    values: List[float] = []
+    for worker in range(n_workers):
+        for index in range(events_per_worker):
+            values.append(
+                0.25 if worker == spiked_shard else _clean_latency(index)
+            )
+    return values
+
+
+def _exact_quantile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of the known observation multiset."""
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[rank]
+
+
+# ----------------------------------------------------------------------
+# Worker subprocess body
+# ----------------------------------------------------------------------
+def _run_worker(args) -> int:
+    carrier = json.loads(args.carrier)
+    spiked = bool(args.spike)
+    recorder = FlightRecorder(capacity=256, tail_exemplars=8, auto_dump=False)
+    with TelemetrySession(
+        profile_autograd=False,
+        label=f"agg-smoke:{args.shard}",
+        slo=SLOTracker(agg_slos(), evaluate_every=0),
+        flight=recorder,
+        spool_dir=args.spool_dir,
+        shard_label=args.shard,
+    ) as session:
+        parent = TraceContext.extract(carrier)
+        for index in range(args.events):
+            # The first request chains to the router's injected context,
+            # so the merged bundles stitch router→shard into one tree.
+            scope = (
+                use_trace_context(parent) if index == 0 else _NULL_SCOPE
+            )
+            with scope:
+                with request_scope("serve"):
+                    with maybe_span("score"):
+                        if spiked:
+                            time.sleep(_SPIKE_SECONDS)
+                    session.registry.counter("agg.requests").inc()
+                    session.registry.histogram("agg.latency").observe(
+                        0.25 if spiked else _clean_latency(index)
+                    )
+        recorder.dump_postmortem(
+            "agg-smoke", directory=Path(args.bundle_dir)
+        )
+    print(json.dumps({"shard": args.shard, "requests": args.events}))
+    return 0
+
+
+class _NullScope:
+    """Stand-in for ``use_trace_context`` on non-chained requests."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        return None
+
+
+_NULL_SCOPE = _NullScope()
+
+
+# ----------------------------------------------------------------------
+# Result
+# ----------------------------------------------------------------------
+@dataclass
+class AggSmokeResult:
+    """Fleet-level invariants checked over the merged view."""
+
+    preset: str
+    n_workers: int
+    events_per_worker: int
+    processes: List[str] = field(default_factory=list)
+    merged_requests: float = 0.0
+    expected_requests: int = 0
+    merged_p50: float = 0.0
+    merged_p99: float = 0.0
+    expected_p50: float = 0.0
+    expected_p99: float = 0.0
+    stitched_traces: int = 0
+    fleet_alerts: List[str] = field(default_factory=list)
+    tracer_dropped: float = 0.0
+    shipper_overhead_ratio: Optional[float] = None
+
+    @property
+    def counters_exact(self) -> bool:
+        """Merged counter equals the per-process sum, exactly."""
+        return self.merged_requests == float(self.expected_requests)
+
+    @property
+    def quantiles_ok(self) -> bool:
+        """Merged histogram quantiles within :data:`QUANTILE_RTOL`."""
+        return (
+            abs(self.merged_p50 - self.expected_p50)
+            <= QUANTILE_RTOL * self.expected_p50
+            and abs(self.merged_p99 - self.expected_p99)
+            <= QUANTILE_RTOL * self.expected_p99
+        )
+
+    @property
+    def stitched_ok(self) -> bool:
+        """At least one trace tree spans more than one process."""
+        return self.stitched_traces >= 1
+
+    @property
+    def alert_fired(self) -> bool:
+        """The latency burn-rate rule fired on the merged windows."""
+        return any(
+            name.startswith("slo-burn:serving-latency")
+            for name in self.fleet_alerts
+        )
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.counters_exact
+            and self.quantiles_ok
+            and self.stitched_ok
+            and self.alert_fired
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "preset": self.preset,
+            "n_workers": self.n_workers,
+            "events_per_worker": self.events_per_worker,
+            "processes": list(self.processes),
+            "merged_requests": self.merged_requests,
+            "expected_requests": self.expected_requests,
+            "merged_p50": self.merged_p50,
+            "merged_p99": self.merged_p99,
+            "expected_p50": self.expected_p50,
+            "expected_p99": self.expected_p99,
+            "quantile_rtol": QUANTILE_RTOL,
+            "stitched_traces": self.stitched_traces,
+            "fleet_alerts": list(self.fleet_alerts),
+            "tracer_dropped": self.tracer_dropped,
+            "counters_exact": self.counters_exact,
+            "quantiles_ok": self.quantiles_ok,
+            "stitched_ok": self.stitched_ok,
+            "alert_fired": self.alert_fired,
+            "passed": self.passed,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"fleet aggregation smoke (preset={self.preset}, "
+            f"{self.n_workers} workers x {self.events_per_worker} requests)",
+            f"  processes merged: {', '.join(self.processes)}",
+            f"  merged requests: {self.merged_requests:g} "
+            f"(expected {self.expected_requests}) "
+            f"exact={self.counters_exact}",
+            f"  merged latency p50={self.merged_p50:g} p99={self.merged_p99:g} "
+            f"(expected p50={self.expected_p50:g} p99={self.expected_p99:g}, "
+            f"rtol={QUANTILE_RTOL}) ok={self.quantiles_ok}",
+            f"  cross-process traces stitched: {self.stitched_traces} "
+            f"ok={self.stitched_ok}",
+            "  fleet alerts: "
+            + (", ".join(self.fleet_alerts) or "none")
+            + f" latency_burn_fired={self.alert_fired}",
+            f"  tracer.dropped (fleet): {self.tracer_dropped:g}",
+            f"  passed={self.passed}",
+        ]
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Router / driver
+# ----------------------------------------------------------------------
+def _worker_env() -> Dict[str, str]:
+    """Subprocess env with this repro package importable."""
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parent.parent.parent)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        src_root + os.pathsep + existing if existing else src_root
+    )
+    return env
+
+
+def run_agg_smoke(
+    preset: str = "smoke",
+    n_workers: int = 3,
+    events_per_worker: Optional[int] = None,
+    output_dir: Optional[Path] = None,
+) -> AggSmokeResult:
+    """Run router + N worker subprocesses and merge their telemetry.
+
+    Parameters
+    ----------
+    preset:
+        Sizes the per-worker stream (smoke: 60 requests, else 150).
+    n_workers:
+        Worker subprocess count; the last shard gets the latency spike.
+    events_per_worker:
+        Override the per-worker request count.
+    output_dir:
+        Where spools, bundles and the merged trace land (a temporary
+        directory is used — and cleaned up by the OS — when omitted).
+    """
+    if n_workers < 2:
+        raise ValueError(f"n_workers must be >= 2, got {n_workers}")
+    if events_per_worker is None:
+        events_per_worker = 60 if preset == "smoke" else 150
+    base = (
+        Path(output_dir)
+        if output_dir is not None
+        else Path(tempfile.mkdtemp(prefix="agg-smoke-"))
+    )
+    spool = base / "spool"
+    bundles = base / "bundles"
+    bundles.mkdir(parents=True, exist_ok=True)
+    spiked_shard = n_workers - 1
+
+    # Router: open the fan-out request, inject its context, ship frames.
+    router_recorder = FlightRecorder(capacity=64, auto_dump=False)
+    with TelemetrySession(
+        profile_autograd=False,
+        label="agg-smoke:router",
+        slo=SLOTracker(agg_slos(), evaluate_every=0),
+        flight=router_recorder,
+        spool_dir=spool,
+        shard_label="router",
+    ):
+        with request_scope("route") as context:
+            carrier = context.inject()
+        router_recorder.dump_postmortem("agg-smoke", directory=bundles)
+
+    procs = []
+    for worker in range(n_workers):
+        command = [
+            sys.executable,
+            "-m",
+            "repro.experiments.agg_smoke",
+            "--worker",
+            "--spool-dir",
+            str(spool),
+            "--bundle-dir",
+            str(bundles),
+            "--shard",
+            f"shard-{worker}",
+            "--carrier",
+            json.dumps(carrier),
+            "--events",
+            str(events_per_worker),
+        ]
+        if worker == spiked_shard:
+            command.append("--spike")
+        procs.append(
+            subprocess.Popen(
+                command,
+                env=_worker_env(),
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+        )
+    for process in procs:
+        stdout, stderr = process.communicate(timeout=300)
+        if process.returncode != 0:
+            raise RuntimeError(
+                f"agg-smoke worker failed (exit {process.returncode}):\n"
+                f"{stdout}\n{stderr}"
+            )
+
+    # Collector: merge the spools, re-evaluate the rules fleet-wide.
+    collector = TelemetryCollector(spool)
+    collector.collect()
+    alerts = collector.evaluate()
+
+    expected = _expected_observations(
+        n_workers, events_per_worker, spiked_shard
+    )
+    histogram = collector.registry.histogram("agg.latency")
+    records = []
+    for bundle in sorted(bundles.iterdir()):
+        if (bundle / "requests.jsonl").exists():
+            records.extend(load_bundle_requests(bundle))
+    trace = stitched_chrome_trace(records)
+    result = AggSmokeResult(
+        preset=preset,
+        n_workers=n_workers,
+        events_per_worker=events_per_worker,
+        processes=sorted(collector.processes),
+        merged_requests=collector.registry.counter("agg.requests").value,
+        expected_requests=n_workers * events_per_worker,
+        merged_p50=histogram.quantile(0.5),
+        merged_p99=histogram.quantile(0.99),
+        expected_p50=_exact_quantile(expected, 0.5),
+        expected_p99=_exact_quantile(expected, 0.99),
+        stitched_traces=int(trace["metadata"]["stitched_traces"]),
+        fleet_alerts=[alert.rule for alert in alerts],
+        tracer_dropped=collector.registry.counter("tracer.dropped").value,
+    )
+    if output_dir is not None:
+        (base / "fleet.txt").write_text(collector.to_text(), encoding="utf-8")
+        (base / "merged_trace.json").write_text(
+            json.dumps(trace), encoding="utf-8"
+        )
+        collector.write_jsonl(base / "fleet.jsonl")
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.experiments.agg_smoke``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.agg_smoke",
+        description="Run the fleet telemetry aggregation smoke check.",
+    )
+    parser.add_argument("--preset", default="smoke")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="directory for the JSON verdict, spools and merged trace",
+    )
+    parser.add_argument("--workers", type=int, default=3)
+    # Worker-mode flags (internal; the router spawns these).
+    parser.add_argument("--worker", action="store_true")
+    parser.add_argument("--spool-dir", default=None)
+    parser.add_argument("--bundle-dir", default=None)
+    parser.add_argument("--shard", default=None)
+    parser.add_argument("--carrier", default=None)
+    parser.add_argument("--events", type=int, default=60)
+    parser.add_argument("--spike", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.worker:
+        return _run_worker(args)
+
+    result = run_agg_smoke(
+        preset=args.preset,
+        n_workers=args.workers,
+        output_dir=args.output,
+    )
+    print(result.render())
+    if args.output is not None:
+        from repro.utils.serialization import save_json
+
+        save_json(result.as_dict(), args.output / "agg_smoke.json")
+    return 0 if result.passed else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

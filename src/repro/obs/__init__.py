@@ -27,13 +27,25 @@ The package provides four composable surfaces:
   ``python -m repro.obs.flight <bundle>``);
 * :mod:`repro.obs.session` — :class:`TelemetrySession`, which activates
   everything at once and renders JSONL/text run reports (the CLI's
-  ``--telemetry`` flag), plus Chrome-trace export.
+  ``--telemetry`` flag), plus Chrome-trace export;
+* :mod:`repro.obs.agg` — fleet aggregation for sharded serving: a
+  :class:`TelemetryShipper` spooling mergeable snapshot frames per
+  process and a :class:`TelemetryCollector` merging N spools into one
+  fleet-level view (``python -m repro.obs.agg``), with cross-process
+  trace stitching via :meth:`TraceContext.inject` /
+  :meth:`TraceContext.extract`.
 
 Only numpy and the standard library are used, and every hook is pay-for-
 what-you-use: with no active registry/tracer/profiler/monitor the
 instrumented hot paths skip telemetry entirely.
 """
 
+from repro.obs.agg import (
+    TelemetryCollector,
+    TelemetryShipper,
+    stitch_request_records,
+    stitched_chrome_trace,
+)
 from repro.obs.alerts import (
     Alert,
     AlertEngine,
@@ -51,9 +63,11 @@ from repro.obs.context import (
     RequestRecord,
     TraceContext,
     current_trace_context,
+    get_shard_label,
     new_trace_id,
     register_request_observer,
     request_scope,
+    set_shard_label,
     unregister_request_observer,
     use_trace_context,
 )
@@ -156,11 +170,17 @@ __all__ = [
     "RequestRecord",
     "TraceContext",
     "current_trace_context",
+    "get_shard_label",
     "new_trace_id",
     "register_request_observer",
     "request_scope",
+    "set_shard_label",
     "unregister_request_observer",
     "use_trace_context",
+    "TelemetryCollector",
+    "TelemetryShipper",
+    "stitch_request_records",
+    "stitched_chrome_trace",
     "FlightRecorder",
     "get_active_flight_recorder",
     "load_bundle",

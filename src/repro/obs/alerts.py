@@ -264,6 +264,14 @@ class AlertEngine:
     def add_sink(self, sink: AlertSink) -> None:
         self.sinks.append(sink)
 
+    def add_rules(self, rules: Sequence[AlertRule]) -> None:
+        """Register additional rules after construction (unique names)."""
+        for rule in rules:
+            if rule.name in self._states:
+                raise ValueError(f"duplicate rule name {rule.name!r}")
+            self.rules = self.rules + (rule,)
+            self._states[rule.name] = _RuleState()
+
     def _emit(self, alert: Alert) -> None:
         self.history.append(alert)
         if alert.kind == "fired":

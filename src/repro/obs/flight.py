@@ -38,6 +38,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import json
+import os
 import re
 import time
 from pathlib import Path
@@ -50,6 +51,7 @@ from repro.obs.alerts import (
 )
 from repro.obs.context import (
     RequestRecord,
+    get_shard_label,
     register_request_observer,
     unregister_request_observer,
 )
@@ -312,7 +314,15 @@ class FlightRecorder:
             raise ValueError(
                 "no directory given and the recorder has no postmortem_dir"
             )
-        bundle = base / f"postmortem-{len(self.dumps) + 1:03d}-{_slug(reason)}"
+        # The name carries pid (and shard label when set): N shards
+        # dumping into a shared directory in the same second must not
+        # collide, and a fleet postmortem should be attributable at a
+        # glance.
+        shard = get_shard_label()
+        suffix = f"-p{os.getpid()}" + (f"-{_slug(shard)}" if shard else "")
+        bundle = base / (
+            f"postmortem-{len(self.dumps) + 1:03d}-{_slug(reason)}{suffix}"
+        )
         bundle.mkdir(parents=True, exist_ok=True)
 
         retained = self.retained()

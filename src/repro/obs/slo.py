@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -243,13 +243,16 @@ class SLOWindow:
         if bad:
             self._fast_bad += 1
         if duration is not None:
-            self._durations[self._duration_next] = duration
-            self._duration_next = (self._duration_next + 1) % self._DURATION_CAPACITY
-            if self._duration_count < self._DURATION_CAPACITY:
-                self._duration_count += 1
-            self._duration_seen += 1
+            self._push_duration(duration)
         self.total_events += 1
         self.total_bad += bad
+
+    def _push_duration(self, duration: float) -> None:
+        self._durations[self._duration_next] = duration
+        self._duration_next = (self._duration_next + 1) % self._DURATION_CAPACITY
+        if self._duration_count < self._DURATION_CAPACITY:
+            self._duration_count += 1
+        self._duration_seen += 1
 
     # ------------------------------------------------------------------
     def _burn(self, bad: int, total: int) -> Optional[float]:
@@ -308,6 +311,67 @@ class SLOWindow:
             out[f"slo.{name}.p50_seconds"] = self._pct_cache[0]
             out[f"slo.{name}.p99_seconds"] = self._pct_cache[1]
         return out
+
+    # ------------------------------------------------------------------
+    # Mergeable snapshots
+    # ------------------------------------------------------------------
+    def _chronological_durations(self) -> List[float]:
+        if self._duration_count < self._DURATION_CAPACITY:
+            return self._durations[: self._duration_count].tolist()
+        return (
+            self._durations[self._duration_next :].tolist()
+            + self._durations[: self._duration_next].tolist()
+        )
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Mergeable state: SLO config, windowed events, duration sample.
+
+        The slow window ships as a ``"0"``/``"1"`` string (oldest event
+        first) so the receiver can *replay* it; everything older than the
+        window is summarised by the cumulative totals.
+        """
+        events = "".join("1" if good else "0" for good in self._slow)
+        return {
+            "slo": asdict(self.slo),
+            "events": events,
+            "durations": self._chronological_durations(),
+            "total_events": self.total_events,
+            "total_bad": self.total_bad,
+        }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Replay another window's snapshot onto this one.
+
+        Events that had already fallen off the sender's window fold into
+        the cumulative totals only; the windowed events replay through
+        :meth:`add` (latency durations re-paired with their events), so
+        merging chunked snapshots in stream order reproduces the
+        whole-stream window exactly while everything fits, and keeps the
+        most recent ``window`` events of the concatenation beyond that.
+        """
+        config = dict(state["slo"])  # type: ignore[arg-type]
+        config["request_kind"] = config.get("request_kind") or None
+        config["metric"] = config.get("metric") or None
+        if config != asdict(self.slo):
+            raise ValueError(
+                f"SLO config mismatch for {self.slo.name!r}: refusing to "
+                "merge windows tracking different objectives"
+            )
+        events = str(state["events"])
+        durations = [float(value) for value in state["durations"]]  # type: ignore[union-attr]
+        # Totals for events older than the shipped window.
+        windowed_bad = events.count("0")
+        self.total_events += int(state["total_events"]) - len(events)  # type: ignore[arg-type]
+        self.total_bad += int(state["total_bad"]) - windowed_bad  # type: ignore[arg-type]
+        # Durations older than the shipped events only feed the ring.
+        paired = min(len(durations), len(events))
+        for value in durations[: len(durations) - paired]:
+            self._push_duration(value)
+        tail = durations[len(durations) - paired :]
+        offset = len(events) - paired
+        for position, flag in enumerate(events):
+            duration = tail[position - offset] if position >= offset else None
+            self.add(flag == "1", duration=duration)
 
 
 def default_serving_slos(
@@ -411,30 +475,32 @@ class SLOTracker:
         self._since_evaluate = 0
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _rules_for(slo: SLO) -> Tuple[AlertRule, AlertRule]:
+        return (
+            AlertRule(
+                f"slo-burn:{slo.name}",
+                f"slo.{slo.name}.burn_rate",
+                threshold=slo.burn_alert,
+                direction="above",
+                clear_threshold=min(1.0, slo.burn_alert),
+                severity=slo.severity,
+            ),
+            AlertRule(
+                f"slo-budget:{slo.name}",
+                f"slo.{slo.name}.budget_remaining",
+                threshold=0.0,
+                direction="below",
+                clear_threshold=0.1,
+                severity=Severity.CRITICAL,
+            ),
+        )
+
     def generated_rules(self) -> Tuple[AlertRule, ...]:
         """Two rules per SLO: burn-rate breach and budget exhaustion."""
         rules: List[AlertRule] = []
         for slo in self.slos:
-            rules.append(
-                AlertRule(
-                    f"slo-burn:{slo.name}",
-                    f"slo.{slo.name}.burn_rate",
-                    threshold=slo.burn_alert,
-                    direction="above",
-                    clear_threshold=min(1.0, slo.burn_alert),
-                    severity=slo.severity,
-                )
-            )
-            rules.append(
-                AlertRule(
-                    f"slo-budget:{slo.name}",
-                    f"slo.{slo.name}.budget_remaining",
-                    threshold=0.0,
-                    direction="below",
-                    clear_threshold=0.1,
-                    severity=Severity.CRITICAL,
-                )
-            )
+            rules.extend(self._rules_for(slo))
         return tuple(rules)
 
     # ------------------------------------------------------------------
@@ -496,6 +562,40 @@ class SLOTracker:
                 if isinstance(value, (int, float)) and math.isfinite(value):
                     registry.gauge(name).set(value)
         return self.alerts.evaluate(snapshot)
+
+    # ------------------------------------------------------------------
+    # Mergeable snapshots
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """Mergeable per-SLO window states plus the request counter."""
+        return {
+            "windows": {
+                name: self.windows[name].snapshot_state()
+                for name in sorted(self.windows)
+            },
+            "requests_seen": self.requests_seen,
+        }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold another tracker's shipped state into this one.
+
+        Windows for SLOs this tracker has not declared are adopted from
+        the snapshot's embedded config, so a collector built with an
+        empty tracker accumulates the union of the fleet's objectives.
+        """
+        for name, window_state in sorted(state["windows"].items()):  # type: ignore[union-attr]
+            if name not in self.windows:
+                slo = SLO(**dict(window_state["slo"]))
+                window = SLOWindow(slo)
+                self.windows[name] = window
+                self.slos = self.slos + (slo,)
+                if slo.kind == "quality":
+                    self._quality_windows.append((window, slo))
+                else:
+                    self._request_windows.append((window, slo))
+                self.alerts.add_rules(self._rules_for(slo))
+            self.windows[name].merge_state(window_state)
+        self.requests_seen += int(state["requests_seen"])  # type: ignore[arg-type]
 
     def exhausted(self) -> List[str]:
         """Names of SLOs whose error budget is currently spent."""

@@ -1,0 +1,101 @@
+"""End-to-end fleet aggregation: real worker processes through the
+shipper → spool → collector path, plus the session-level wiring that
+the CLI's ``--spool-dir`` flag drives."""
+
+import json
+
+import pytest
+
+from repro.obs import TelemetryCollector, TelemetrySession, get_shard_label
+from repro.experiments.agg_smoke import run_agg_smoke
+
+
+class TestSessionShipperLifecycle:
+    def test_spool_dir_builds_a_bound_shipper(self, tmp_path):
+        session = TelemetrySession(
+            profile_autograd=False,
+            spool_dir=tmp_path / "spool",
+            shard_label="shard-7",
+        )
+        assert session.shipper is not None
+        assert session.shipper.process_label == "shard-7"
+        assert session.shipper.spool_path.name == "shard-7.jsonl"
+
+    def test_stop_ships_a_final_frame_with_session_state(self, tmp_path):
+        spool = tmp_path / "spool"
+        with TelemetrySession(
+            profile_autograd=False, spool_dir=spool, shard_label="w"
+        ) as session:
+            session.registry.counter("work.done").inc(4)
+        collector = TelemetryCollector(spool)
+        summary = collector.collect()
+        assert summary["processes"] == 1
+        assert collector.registry.counter("work.done").value == 4.0
+        assert collector.processes["w"]["shard"] == "w"
+
+    def test_shard_label_is_scoped_to_the_session(self, tmp_path):
+        assert get_shard_label() is None
+        with TelemetrySession(
+            profile_autograd=False,
+            spool_dir=tmp_path / "spool",
+            shard_label="shard-3",
+        ):
+            assert get_shard_label() == "shard-3"
+        assert get_shard_label() is None
+
+    def test_session_without_spool_dir_has_no_shipper(self):
+        session = TelemetrySession(profile_autograd=False)
+        assert session.shipper is None
+
+
+class TestAggSmokeEndToEnd:
+    """Four real processes (router + three shard workers, one spiked)
+    merged by the collector: the full acceptance path, scaled down for
+    CI friendliness."""
+
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        output_dir = tmp_path_factory.mktemp("agg-smoke")
+        # 3 workers with only the last spiked keeps the fleet p50 well
+        # inside the clean-latency region (a 50/50 clean/spike mix puts
+        # the median on the mixture boundary, where nearest-rank truth
+        # and histogram interpolation legitimately disagree).
+        return (
+            run_agg_smoke(
+                n_workers=3, events_per_worker=16, output_dir=output_dir
+            ),
+            output_dir,
+        )
+
+    def test_result_passes_every_gate(self, result):
+        smoke, _ = result
+        assert smoke.counters_exact, smoke.render()
+        assert smoke.quantiles_ok, smoke.render()
+        assert smoke.stitched_ok, smoke.render()
+        assert smoke.alert_fired, smoke.render()
+        assert smoke.passed
+
+    def test_merged_counters_sum_across_workers(self, result):
+        smoke, _ = result
+        assert smoke.merged_requests == 3 * 16
+        assert smoke.expected_requests == 3 * 16
+
+    def test_router_and_workers_render_as_one_stitched_trace(self, result):
+        smoke, output_dir = result
+        assert smoke.stitched_traces >= 1
+        trace = json.loads((output_dir / "merged_trace.json").read_text())
+        pids = {
+            event["pid"]
+            for event in trace["traceEvents"]
+            if event.get("cat") == "request"
+        }
+        assert len(pids) >= 2  # router + at least one worker process
+
+    def test_fleet_alert_fired_on_the_merged_view_only(self, result):
+        smoke, _ = result
+        assert any("slo-burn" in rule for rule in smoke.fleet_alerts)
+
+    def test_artifacts_are_written(self, result):
+        _, output_dir = result
+        for name in ("fleet.txt", "fleet.jsonl", "merged_trace.json"):
+            assert (output_dir / name).is_file()

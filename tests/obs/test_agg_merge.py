@@ -1,0 +1,304 @@
+"""Property tests for the snapshot merge algebra.
+
+The fleet collector's correctness rests on two algebraic facts about
+``snapshot_state``/``merge_state``:
+
+* **commutativity** — merging A's state into B gives the same merged
+  statistics as merging B's into A (frame arrival order between
+  processes must not matter, gauges excepted by design);
+* **chunk invariance** — a stream split across N processes and merged
+  equals the same stream observed by one process (sharding must not
+  change fleet-level answers).
+
+Hypothesis drives both over the mergeable surfaces: histograms, the
+streaming AUC/ECE estimators, cohort CTR and SLO windows.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.quality import CohortCTR, StreamingAUC, WindowedECE
+from repro.obs.slo import SLO, SLOWindow
+
+finite_floats = st.floats(
+    min_value=1e-6, max_value=60.0, allow_nan=False, allow_infinity=False
+)
+scores = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+def roundtrip(state):
+    """States cross a process boundary as JSON — merge what arrives."""
+    return json.loads(json.dumps(state))
+
+
+# ----------------------------------------------------------------------
+# Counters and gauges
+# ----------------------------------------------------------------------
+@given(st.lists(finite_floats, max_size=20), st.lists(finite_floats, max_size=20))
+def test_counter_merge_commutes_and_sums(a_values, b_values):
+    a, b = Counter("c"), Counter("c")
+    for value in a_values:
+        a.inc(value)
+    for value in b_values:
+        b.inc(value)
+    ab, ba = Counter("c"), Counter("c")
+    ab.merge_state(roundtrip(a.snapshot_state()))
+    ab.merge_state(roundtrip(b.snapshot_state()))
+    ba.merge_state(roundtrip(b.snapshot_state()))
+    ba.merge_state(roundtrip(a.snapshot_state()))
+    assert ab.value == pytest.approx(sum(a_values) + sum(b_values))
+    assert ab.value == ba.value
+
+
+def test_gauge_merge_is_last_writer_wins():
+    a, b = Gauge("g"), Gauge("g")
+    a.set(1.0)
+    b.set(2.5)
+    merged = Gauge("g")
+    merged.merge_state(roundtrip(a.snapshot_state()))
+    merged.merge_state(roundtrip(b.snapshot_state()))
+    assert merged.value == 2.5
+
+
+# ----------------------------------------------------------------------
+# Histograms
+# ----------------------------------------------------------------------
+def _merge_histograms(chunks):
+    merged = Histogram("h")
+    for chunk in chunks:
+        source = Histogram("h")
+        for value in chunk:
+            source.observe(value)
+        merged.merge_state(roundtrip(source.snapshot_state()))
+    return merged
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=120), st.data())
+def test_histogram_chunked_merge_equals_whole(values, data):
+    """Split a stream at a random point: exact stats must agree."""
+    split = data.draw(st.integers(min_value=0, max_value=len(values)))
+    whole = Histogram("h")
+    for value in values:
+        whole.observe(value)
+    merged = _merge_histograms([values[:split], values[split:]])
+    assert merged.count == whole.count
+    assert merged.sum == pytest.approx(whole.sum)
+    assert merged.min == pytest.approx(whole.min)
+    assert merged.max == pytest.approx(whole.max)
+    assert merged.bucket_counts == whole.bucket_counts
+
+
+@given(
+    st.lists(finite_floats, min_size=1, max_size=60),
+    st.lists(finite_floats, min_size=1, max_size=60),
+)
+def test_histogram_merge_commutes(a_values, b_values):
+    ab = _merge_histograms([a_values, b_values])
+    ba = _merge_histograms([b_values, a_values])
+    assert ab.count == ba.count
+    assert ab.sum == pytest.approx(ba.sum)
+    assert ab.bucket_counts == ba.bucket_counts
+    # The retained samples are the same multiset (order differs), so
+    # every quantile — not just the moments — agrees.
+    for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+        assert ab.quantile(q) == pytest.approx(ba.quantile(q))
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=200), st.data())
+def test_histogram_merged_quantiles_within_documented_bounds(values, data):
+    """Below sample capacity the merged quantiles are exact multiset
+    quantiles; decimated merges stay within the stride-sampling bound
+    (here: small capacity forces decimation, quantiles must still land
+    inside the observed value range and within one bucket of truth)."""
+    split = data.draw(st.integers(min_value=0, max_value=len(values)))
+    merged = Histogram("h")
+    for chunk in (values[:split], values[split:]):
+        source = Histogram("h", sample_capacity=16)
+        for value in chunk:
+            source.observe(value)
+        merged_state = roundtrip(source.snapshot_state())
+        merged.merge_state(merged_state)
+    lo, hi = min(values), max(values)
+    for q in (0.1, 0.5, 0.9):
+        estimate = merged.quantile(q)
+        assert lo <= estimate <= hi
+    # p50 of a decimated sample still falls within the true stream's
+    # inter-decile range — stride decimation keeps every 2^k-th value,
+    # which cannot skew the median outside the bulk of the data.
+    ordered = sorted(values)
+    p10 = ordered[max(0, int(0.1 * len(ordered)) - 1)]
+    p90 = ordered[min(len(ordered) - 1, int(0.9 * len(ordered)) + 1)]
+    assert p10 <= merged.quantile(0.5) <= p90
+
+
+def test_histogram_merge_rejects_mismatched_buckets():
+    a = Histogram("h", buckets=(0.1, 1.0))
+    b = Histogram("h", buckets=(0.2, 2.0))
+    with pytest.raises(ValueError):
+        a.merge_state(b.snapshot_state())
+
+
+# ----------------------------------------------------------------------
+# Quality estimators
+# ----------------------------------------------------------------------
+@given(
+    st.lists(st.tuples(st.booleans(), scores), min_size=4, max_size=200),
+    st.data(),
+)
+@settings(max_examples=50)
+def test_streaming_auc_chunked_merge_equals_whole(pairs, data):
+    split = data.draw(st.integers(min_value=0, max_value=len(pairs)))
+    labels = np.array([float(label) for label, _ in pairs])
+    values = np.array([score for _, score in pairs])
+    whole = StreamingAUC(n_bins=64)
+    whole.update(labels, values)
+    merged = StreamingAUC(n_bins=64)
+    for sl in (slice(None, split), slice(split, None)):
+        chunk = StreamingAUC(n_bins=64)
+        if len(labels[sl]):
+            chunk.update(labels[sl], values[sl])
+        merged.merge_state(roundtrip(chunk.snapshot_state()))
+    expected = whole.value
+    actual = merged.value
+    if expected is None:
+        assert actual is None
+    else:
+        assert actual == pytest.approx(expected, abs=1e-12)
+
+
+@given(
+    st.lists(st.tuples(st.booleans(), scores), min_size=4, max_size=200),
+    st.data(),
+)
+@settings(max_examples=50)
+def test_windowed_ece_chunked_merge_equals_whole(pairs, data):
+    split = data.draw(st.integers(min_value=0, max_value=len(pairs)))
+    labels = np.array([float(label) for label, _ in pairs])
+    values = np.array([score for _, score in pairs])
+    whole = WindowedECE(n_bins=10)
+    whole.update(labels, values)
+    merged = WindowedECE(n_bins=10)
+    for sl in (slice(None, split), slice(split, None)):
+        chunk = WindowedECE(n_bins=10)
+        if len(labels[sl]):
+            chunk.update(labels[sl], values[sl])
+        merged.merge_state(roundtrip(chunk.snapshot_state()))
+    expected = whole.value
+    actual = merged.value
+    if expected is None:
+        assert actual is None
+    else:
+        assert actual == pytest.approx(expected, abs=1e-12)
+
+
+def test_streaming_auc_merge_rejects_mismatched_binning():
+    a, b = StreamingAUC(n_bins=64), StreamingAUC(n_bins=32)
+    with pytest.raises(ValueError):
+        a.merge_state(b.snapshot_state())
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["new", "warm", "cold"]),
+        st.tuples(st.integers(0, 50), st.integers(0, 50)),
+        max_size=3,
+    ),
+    st.dictionaries(
+        st.sampled_from(["new", "warm", "cold"]),
+        st.tuples(st.integers(0, 50), st.integers(0, 50)),
+        max_size=3,
+    ),
+)
+def test_cohort_ctr_merge_sums_per_cohort(a_counts, b_counts):
+    a, b = CohortCTR(), CohortCTR()
+    for cohort, (impressions, clicks) in a_counts.items():
+        a.record(cohort, impressions, min(impressions, clicks))
+    for cohort, (impressions, clicks) in b_counts.items():
+        b.record(cohort, impressions, min(impressions, clicks))
+    merged = CohortCTR()
+    merged.merge_state(roundtrip(a.snapshot_state()))
+    merged.merge_state(roundtrip(b.snapshot_state()))
+    impressions, clicks = merged._totals()
+    for cohort in set(a_counts) | set(b_counts):
+        expected_impressions = a_counts.get(cohort, (0, 0))[0] + b_counts.get(
+            cohort, (0, 0)
+        )[0]
+        assert impressions.get(cohort, 0) == pytest.approx(
+            expected_impressions
+        )
+
+
+# ----------------------------------------------------------------------
+# SLO windows
+# ----------------------------------------------------------------------
+def _latency_slo(window=64, fast_window=16):
+    return SLO.latency(
+        "merge-test",
+        0.1,
+        objective=0.9,
+        window=window,
+        fast_window=fast_window,
+        min_events=4,
+    )
+
+
+@given(
+    st.lists(st.tuples(st.booleans(), finite_floats), min_size=1, max_size=300),
+    st.data(),
+)
+@settings(max_examples=50)
+def test_slo_window_chunked_merge_equals_whole(events, data):
+    """Replay-merged windows reproduce the single-stream answers.
+
+    Events are replayed oldest-first with their durations, so after a
+    chunked merge the totals, window contents, burn rates and remaining
+    budget all match a window that saw the entire stream itself.
+    """
+    split = data.draw(st.integers(min_value=0, max_value=len(events)))
+    whole = SLOWindow(_latency_slo())
+    for good, duration in events:
+        whole.add(good, duration=duration)
+    merged = SLOWindow(_latency_slo())
+    for chunk in (events[:split], events[split:]):
+        source = SLOWindow(_latency_slo())
+        for good, duration in chunk:
+            source.add(good, duration=duration)
+        merged.merge_state(roundtrip(source.snapshot_state()))
+    assert merged.total_events == whole.total_events
+    assert merged.total_bad == whole.total_bad
+    assert merged.burn_rate() == whole.burn_rate()
+    assert merged.budget_remaining() == whole.budget_remaining()
+    assert merged.snapshot() == whole.snapshot()
+
+
+def test_slo_window_merge_rejects_mismatched_config():
+    a = SLOWindow(_latency_slo(window=64))
+    b = SLOWindow(_latency_slo(window=32))
+    with pytest.raises(ValueError):
+        a.merge_state(b.snapshot_state())
+
+
+# ----------------------------------------------------------------------
+# Registry-level merge
+# ----------------------------------------------------------------------
+def test_registry_merge_creates_and_folds_instruments():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("req").inc(3)
+    b.counter("req").inc(4)
+    b.gauge("level").set(2.5)
+    a.histogram("lat").observe(0.01)
+    b.histogram("lat").observe(0.5)
+    merged = MetricsRegistry()
+    for registry in (a, b):
+        for record in roundtrip(registry.snapshot_state()):
+            merged.merge_state(record)
+    assert merged.counter("req").value == 7.0
+    assert merged.gauge("level").value == 2.5
+    assert merged.histogram("lat").count == 2
