@@ -142,6 +142,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable structured logging to stderr at this level",
     )
     parser.add_argument(
+        "--fuse",
+        action="store_true",
+        help=(
+            "apply the kernel-fusion pass to every trained model: "
+            "Linear→ReLU stacks and DCN cross layers run as single fused "
+            "autograd ops (see docs/performance.md); fusion coverage is "
+            "reported via the autograd.fusion_hits counter"
+        ),
+    )
+    parser.add_argument(
+        "--n-workers",
+        type=int,
+        default=0,
+        help=(
+            "train with a multi-process data-parallel worker pool of this "
+            "size (0 = in-process, the default; 1 reproduces in-process "
+            "training bit for bit from a separate worker process); "
+            "workers spool telemetry under --spool-dir when it is set"
+        ),
+    )
+    parser.add_argument(
         "--sanitize",
         action="store_true",
         help=(
@@ -159,6 +180,22 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.log_level is not None:
         configure_logging(args.log_level)
+
+    if args.n_workers < 0:
+        print(f"error: --n-workers must be >= 0, got {args.n_workers}", file=sys.stderr)
+        return 2
+    if args.fuse or args.n_workers:
+        # Experiments build their trainers internally; route the knobs
+        # through the ambient trainer defaults.
+        from repro.core.trainer import set_trainer_defaults
+
+        set_trainer_defaults(
+            fuse=args.fuse,
+            n_workers=args.n_workers,
+            worker_spool_dir=(
+                str(args.spool_dir) if args.spool_dir is not None else None
+            ),
+        )
 
     if args.experiment == "list":
         for name in available_experiments():

@@ -22,6 +22,8 @@ from repro.core.trainer import (
     MultiTaskTrainer,
     TrainingHistory,
     TwoTowerTrainer,
+    get_trainer_defaults,
+    set_trainer_defaults,
 )
 from repro.core.two_tower import TwoTowerModel
 
@@ -51,4 +53,6 @@ __all__ = [
     "MultiTaskTrainer",
     "TrainingHistory",
     "TwoTowerTrainer",
+    "get_trainer_defaults",
+    "set_trainer_defaults",
 ]

@@ -42,7 +42,46 @@ __all__ = [
     "TwoTowerTrainer",
     "ATNNTrainer",
     "MultiTaskTrainer",
+    "set_trainer_defaults",
+    "get_trainer_defaults",
 ]
+
+
+# Ambient trainer defaults: process-wide knobs (CLI flags, experiment
+# presets) consulted when a trainer is constructed without explicit
+# values.  Experiments construct their trainers internally, so this is
+# how ``--fuse`` / ``--n-workers`` reach them without threading new
+# arguments through every registry entry.
+_TRAINER_DEFAULTS: Dict[str, object] = {
+    "fuse": False,
+    "n_workers": 0,
+    "start_method": None,
+    "worker_spool_dir": None,
+}
+
+
+def set_trainer_defaults(**overrides) -> Dict[str, object]:
+    """Update the ambient trainer defaults; returns the previous values.
+
+    Recognised keys: ``fuse`` (apply the kernel-fusion pass to models at
+    fit time), ``n_workers`` (0 = in-process training, N >= 1 = a
+    data-parallel worker pool of N processes), ``start_method`` and
+    ``worker_spool_dir`` (see :class:`repro.nn.parallel.WorkerPool`).
+    """
+    unknown = sorted(set(overrides) - set(_TRAINER_DEFAULTS))
+    if unknown:
+        raise KeyError(
+            f"unknown trainer defaults {unknown}; "
+            f"expected keys from {sorted(_TRAINER_DEFAULTS)}"
+        )
+    previous = {key: _TRAINER_DEFAULTS[key] for key in overrides}
+    _TRAINER_DEFAULTS.update(overrides)
+    return previous
+
+
+def get_trainer_defaults() -> Dict[str, object]:
+    """A copy of the ambient trainer defaults."""
+    return dict(_TRAINER_DEFAULTS)
 
 
 @dataclass(frozen=True)
@@ -161,11 +200,31 @@ class _BaseTrainer:
         early_stopping: Optional[EarlyStopping] = None,
         callbacks: Optional[Sequence[TrainerCallback]] = None,
         dtype=None,
+        fuse: Optional[bool] = None,
+        n_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        worker_spool_dir=None,
     ) -> None:
         if epochs <= 0:
             raise ValueError(f"epochs must be positive, got {epochs}")
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
+        # None means "use the ambient default" (set_trainer_defaults).
+        defaults = _TRAINER_DEFAULTS
+        self.fuse = bool(defaults["fuse"] if fuse is None else fuse)
+        self.n_workers = int(
+            defaults["n_workers"] if n_workers is None else n_workers  # type: ignore[arg-type]
+        )
+        if self.n_workers < 0:
+            raise ValueError(f"n_workers must be >= 0, got {self.n_workers}")
+        self.start_method = (
+            defaults["start_method"] if start_method is None else start_method
+        )
+        self.worker_spool_dir = (
+            defaults["worker_spool_dir"]
+            if worker_spool_dir is None
+            else worker_spool_dir
+        )
         self.epochs = epochs
         self.batch_size = batch_size
         self.lr = lr
@@ -189,10 +248,23 @@ class _BaseTrainer:
     # Telemetry plumbing
     # ------------------------------------------------------------------
     def _begin_fit(self, model) -> None:
-        """Resolve callbacks, and enter the configured compute dtype."""
+        """Resolve callbacks, and enter the configured compute dtype.
+
+        When ``fuse`` is enabled the kernel-fusion pass rewrites the
+        model in place here (after any dtype change), so registry models
+        pick up the fused Linear→ReLU / cross-layer kernels without
+        model-code changes; the report lands on ``self.fusion_report``.
+        """
         if self.dtype is not None:
             self._previous_dtype = set_default_dtype(self.dtype)
             model.to_dtype(self.dtype)
+        self.fusion_report = None
+        if self.fuse:
+            from repro.nn.fusion import fuse
+
+            self.fusion_report = fuse(model)
+            if self.verbose:
+                print(self.fusion_report.to_text())
         self._active_callbacks = tuple(self.callbacks) + global_callbacks()
         self._parameter_groups = []
         if self._active_callbacks:
@@ -317,6 +389,89 @@ class _BaseTrainer:
         ):
             model.load_state_dict(self._best_state)
 
+    # ------------------------------------------------------------------
+    # Multi-process data-parallel fit (n_workers >= 1)
+    # ------------------------------------------------------------------
+    def _fit_parallel(
+        self,
+        model,
+        train: InteractionDataset,
+        program,
+        validate: Optional[Callable[[object, Dict[str, float]], None]] = None,
+    ) -> TrainingHistory:
+        """Generic epoch loop over a :class:`repro.nn.parallel.WorkerPool`.
+
+        Workers compute per-shard gradients for each of ``program``'s
+        paths; this parent merges them, clips, and applies the optimizer
+        step to the shared parameter slab — so alternation semantics
+        (the generator path seeing the encoder-path update) are
+        preserved exactly.  ``validate`` receives ``(model, record)``
+        after each epoch to append validation metrics.
+        """
+        from repro.nn.parallel import WorkerPool
+
+        history = TrainingHistory()
+        self._begin_fit(model)
+        try:
+            optimizer = Adam(model.parameters(), lr=self.lr)
+            model.train()
+            pool = WorkerPool(
+                model,
+                program,
+                train,
+                n_workers=self.n_workers,
+                batch_size=self.batch_size,
+                seed=self.seed,
+                start_method=self.start_method,
+                spool_dir=self.worker_spool_dir,
+            )
+            try:
+                for epoch in range(self.epochs):
+                    accumulated: Dict[str, List[float]] = {}
+                    pool.begin_epoch()
+                    with maybe_span("train.epoch"):
+                        for _ in range(pool.steps_per_epoch):
+                            for position, path in enumerate(program.paths()):
+                                # zero_grad first: it also recycles the
+                                # arena generation the previous step's
+                                # optimizer scratch came from.
+                                optimizer.zero_grad()
+                                value, logs = pool.step(
+                                    path, advance=(position == 0)
+                                )
+                                if not np.isfinite(value):
+                                    raise RuntimeError(
+                                        f"training diverged: loss is {value!r} "
+                                        f"at optimizer step {optimizer.step_count}"
+                                        f" on path {path!r}; lower the learning "
+                                        "rate or enable gradient clipping"
+                                    )
+                                if self.grad_clip is not None:
+                                    Optimizer.clip_gradients(
+                                        optimizer.parameters, self.grad_clip
+                                    )
+                                optimizer.step()
+                                for key, logged in logs.items():
+                                    accumulated.setdefault(key, []).append(logged)
+                                self._on_batch(optimizer, path, logs)
+                    record = {
+                        key: float(np.mean(values))
+                        for key, values in accumulated.items()
+                    }
+                    if validate is not None:
+                        validate(model, record)
+                        model.train()
+                    self._finish_epoch(epoch, record, history)
+                    if self._check_early_stop(record, model):
+                        break
+                self._maybe_restore_best(model)
+                model.eval()
+            finally:
+                pool.close()
+        finally:
+            self._end_fit(history)
+        return history
+
 
 class TwoTowerTrainer(_BaseTrainer):
     """Trains :class:`TwoTowerModel` on binary CTR labels."""
@@ -342,6 +497,20 @@ class TwoTowerTrainer(_BaseTrainer):
         label:
             Which label column carries the click target.
         """
+        if self.n_workers:
+            from repro.nn.parallel import TwoTowerStepProgram
+
+            def validate(model, record):
+                if valid is None:
+                    return
+                valid_labels = valid.label(label)
+                valid_scores = model.predict_proba(valid.features)
+                record["valid_auc"] = roc_auc(valid_labels, valid_scores)
+                self._emit_validation_scores("encoder", valid_labels, valid_scores)
+
+            return self._fit_parallel(
+                model, train, TwoTowerStepProgram(label), validate
+            )
         rng = np.random.default_rng(self.seed)
         history = TrainingHistory()
         self._begin_fit(model)
@@ -407,6 +576,32 @@ class ATNNTrainer(_BaseTrainer):
         (``valid_auc_encoder``) and the cold-start generator-path AUC
         (``valid_auc_generator``) are recorded each epoch.
         """
+        if self.n_workers:
+            from repro.nn.parallel import ATNNStepProgram
+
+            def validate(model, record):
+                if valid is None:
+                    return
+                valid_labels = valid.label(label)
+                encoder_scores = model.predict_proba(valid.features)
+                generator_scores = model.predict_proba_cold_start(valid.features)
+                record["valid_auc_encoder"] = roc_auc(valid_labels, encoder_scores)
+                record["valid_auc_generator"] = roc_auc(
+                    valid_labels, generator_scores
+                )
+                self._emit_validation_scores(
+                    "encoder", valid_labels, encoder_scores
+                )
+                self._emit_validation_scores(
+                    "generator", valid_labels, generator_scores
+                )
+
+            return self._fit_parallel(
+                model,
+                train,
+                ATNNStepProgram(label, self.lambda_similarity),
+                validate,
+            )
         rng = np.random.default_rng(self.seed)
         history = TrainingHistory()
         self._begin_fit(model)
@@ -543,12 +738,33 @@ class MultiTaskTrainer(_BaseTrainer):
         valid: Optional[InteractionDataset] = None,
     ) -> TrainingHistory:
         """Run Algorithm 2; records per-path losses and validation MAEs."""
-        rng = np.random.default_rng(self.seed)
-        history = TrainingHistory()
         # Start each regression head at its label mean so early epochs fit
         # structure rather than climbing the output offset.
         model.gmv_head.set_output_bias(float(train.label("gmv").mean()))
         model.vppv_head.set_output_bias(float(train.label("vppv").mean()))
+        if self.n_workers:
+            from repro.nn.parallel import MultiTaskStepProgram
+
+            def validate(model, record):
+                if valid is None:
+                    return
+                for task in MultiTaskATNN.TASKS:
+                    predictions = model.predict(
+                        valid.features, task, cold_start=self.adversarial
+                    )
+                    errors = np.abs(predictions - valid.label(task))
+                    record[f"valid_mae_{task}"] = float(errors.mean())
+
+            return self._fit_parallel(
+                model,
+                train,
+                MultiTaskStepProgram(
+                    self.lambda_vppv, self.lambda_similarity, self.adversarial
+                ),
+                validate,
+            )
+        rng = np.random.default_rng(self.seed)
+        history = TrainingHistory()
         self._begin_fit(model)
         try:
             optimizer = Adam(model.parameters(), lr=self.lr)

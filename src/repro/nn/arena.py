@@ -1,0 +1,307 @@
+"""Generation-stamped buffer arena for autograd scratch and gradient buffers.
+
+Round 2 of the autograd perf work (see ``docs/performance.md``) showed that
+after the sparse fast path, a slice of per-step time is allocator churn:
+every backward pass allocates fresh gradient buffers, and every optimizer
+step allocates fresh scratch (``m_hat``/``v_hat``, gathered rows).  The
+shapes repeat exactly from step to step, so the arena keeps a free list per
+``(shape, dtype)`` key and hands the same buffers back out each step
+instead of going through ``np.empty``.
+
+Pooling has a floor: numpy's allocator (and glibc behind it) already
+recycles small and medium blocks in well under a microsecond, so renting
+them through python-level bookkeeping is a net loss.  Buffers smaller than
+``min_bytes`` bypass the pool entirely and come straight from
+``np.empty`` / ``np.zeros``; only large buffers — the ones that risk an
+``mmap`` round-trip and a page-fault sweep on first touch — are pooled
+and generation-stamped.
+
+Lifecycle
+---------
+Pooled buffers move through three states::
+
+            rent()                    advance()
+    free  ─────────►  rented (gen G) ───────────►  free (reusable)
+      ▲                                                 │
+      └─────────────────────────────────────────────────┘
+
+``rent`` pops a pooled buffer (or allocates one on a miss) and stamps it
+with the arena's current *generation*.  ``advance`` — called once per
+training step from ``Optimizer.zero_grad`` — bumps the generation and
+returns every rented buffer to the pool.  A buffer is therefore valid from
+the moment it is rented until the next ``advance``; holding one across an
+``advance`` is a reuse-after-free bug.  The runtime sanitizer
+(:class:`repro.analysis.GradSanitizer`) records the generation of any
+arena-owned buffer saved for backward and raises if the generation ended
+before the gradient ran.
+
+The arena is ambient, like the sparse-grad switch: install one with
+:func:`use_arena` and hot paths pick it up through :func:`arena_empty` /
+:func:`arena_zeros`, which degrade to plain numpy allocation when no arena
+is active.  Arenas are strictly per-process (no locks, no threads) — see
+``docs/thread_hostility.md`` for the fleet-wide discipline.
+
+Example
+-------
+>>> from repro.nn.arena import BufferArena, use_arena, arena_empty
+>>> arena = BufferArena()
+>>> with use_arena(arena):
+...     a = arena_empty((512, 128), "float64")   # fresh allocation
+...     arena.advance()                          # a returns to the pool
+...     b = arena_empty((512, 128), "float64")   # same buffer, recycled
+>>> a is b
+True
+>>> arena.owns(arena_empty((4,), "float64"))     # below the pooling floor
+False
+"""
+
+from __future__ import annotations
+
+from math import prod
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BufferArena",
+    "use_arena",
+    "get_active_arena",
+    "arena_empty",
+    "arena_zeros",
+]
+
+# Pool only buffers at least this large.  Small/medium blocks are served
+# faster by numpy's own caching allocator than by python bookkeeping; the
+# crossover measured on the bench workloads sits around tens of KB.
+DEFAULT_MIN_BYTES = 32 * 1024
+
+
+class BufferArena:
+    """A pool of reusable numpy buffers keyed by ``(shape, dtype)``.
+
+    Parameters
+    ----------
+    max_buffers_per_key:
+        Cap on pooled buffers per shape/dtype key; rentals beyond the cap
+        are simply dropped back to the allocator at ``advance`` time so a
+        pathological step cannot pin unbounded memory.
+    min_bytes:
+        Pooling floor: requests smaller than this come straight from
+        ``np.empty``/``np.zeros`` with no bookkeeping (and are therefore
+        not generation-stamped).
+    """
+
+    __slots__ = (
+        "max_buffers_per_key",
+        "min_bytes",
+        "generation",
+        "_free",
+        "_rented",
+        "_generations",
+        "reuses",
+        "fresh_allocations",
+        "unpooled",
+        "dropped",
+    )
+
+    def __init__(
+        self,
+        max_buffers_per_key: int = 64,
+        min_bytes: int = DEFAULT_MIN_BYTES,
+    ) -> None:
+        self.max_buffers_per_key = int(max_buffers_per_key)
+        self.min_bytes = int(min_bytes)
+        self.generation = 0
+        self._free: Dict[Tuple[Tuple[int, ...], np.dtype], List[np.ndarray]] = {}
+        self._rented: List[Tuple[Tuple[Tuple[int, ...], np.dtype], np.ndarray]] = []
+        # id(buffer) -> generation it was rented under.  Entries live as
+        # long as the buffer is pooled or rented, so ids stay unambiguous.
+        self._generations: Dict[int, int] = {}
+        self.reuses = 0
+        self.fresh_allocations = 0
+        self.unpooled = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Renting
+    # ------------------------------------------------------------------
+    def rent(self, shape, dtype) -> np.ndarray:
+        """Return a buffer of ``shape``/``dtype`` valid until :meth:`advance`.
+
+        Contents are uninitialised (like ``np.empty``).  Requests below
+        ``min_bytes`` are unpooled: plain ``np.empty`` with no stamp.
+        """
+        dtype = np.dtype(dtype)
+        if type(shape) is not tuple:
+            shape = tuple(shape)
+        if prod(shape) * dtype.itemsize < self.min_bytes:
+            self.unpooled += 1
+            return np.empty(shape, dtype=dtype)
+        key = (shape, dtype)
+        stack = self._free.get(key)
+        if stack:
+            buffer = stack.pop()
+            self.reuses += 1
+        else:
+            buffer = np.empty(shape, dtype=dtype)
+            self.fresh_allocations += 1
+        self._rented.append((key, buffer))
+        self._generations[id(buffer)] = self.generation
+        return buffer
+
+    def zeros(self, shape, dtype) -> np.ndarray:
+        """Like :meth:`rent`, but zero-filled.
+
+        Below the pooling floor this is plain ``np.zeros`` — calloc'd
+        zero pages beat an explicit ``fill(0)`` sweep.
+        """
+        dtype = np.dtype(dtype)
+        if type(shape) is not tuple:
+            shape = tuple(shape)
+        if prod(shape) * dtype.itemsize < self.min_bytes:
+            self.unpooled += 1
+            return np.zeros(shape, dtype=dtype)
+        buffer = self.rent(shape, dtype)
+        buffer.fill(0)
+        return buffer
+
+    @property
+    def rentals(self) -> int:
+        """Total pooled rentals served (reuses + fresh allocations)."""
+        return self.reuses + self.fresh_allocations
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def advance(self) -> int:
+        """End the current generation: recycle every rented buffer.
+
+        Called once per training step (from ``Optimizer.zero_grad``).
+        Returns the new generation number.
+        """
+        self.generation += 1
+        for key, buffer in self._rented:
+            stack = self._free.setdefault(key, [])
+            if len(stack) < self.max_buffers_per_key:
+                stack.append(buffer)
+            else:
+                self.dropped += 1
+                self._generations.pop(id(buffer), None)
+        self._rented.clear()
+        self._publish_metrics()
+        return self.generation
+
+    def reset(self) -> None:
+        """Drop every pooled and rented buffer (frees the memory)."""
+        self._free.clear()
+        self._rented.clear()
+        self._generations.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def generation_of(self, array: np.ndarray) -> Optional[int]:
+        """Generation ``array`` was last rented under, or ``None``.
+
+        Only recognises whole rented buffers (not views into them) — the
+        sanctioned usage pattern is to hand the rented array around as-is.
+        Unpooled (below-floor) buffers are never stamped.
+        """
+        return self._generations.get(id(array))
+
+    def owns(self, array: np.ndarray) -> bool:
+        """Whether ``array`` is a buffer managed by this arena."""
+        return id(array) in self._generations
+
+    @property
+    def pooled_bytes(self) -> int:
+        """Bytes currently held in free lists."""
+        return sum(
+            buffer.nbytes for stack in self._free.values() for buffer in stack
+        )
+
+    @property
+    def pooled_buffers(self) -> int:
+        return sum(len(stack) for stack in self._free.values())
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for benchmark reports and telemetry."""
+        return {
+            "generation": self.generation,
+            "rentals": self.rentals,
+            "reuses": self.reuses,
+            "fresh_allocations": self.fresh_allocations,
+            "unpooled": self.unpooled,
+            "dropped": self.dropped,
+            "pooled_buffers": self.pooled_buffers,
+            "pooled_bytes": self.pooled_bytes,
+        }
+
+    def _publish_metrics(self) -> None:
+        """Push arena gauges into the active metrics registry, if any.
+
+        Runs once per ``advance`` (one training step), so the registry
+        lookup is off the per-rental hot path.
+        """
+        from repro.obs.metrics import get_active_registry
+
+        registry = get_active_registry()
+        if registry is None:
+            return
+        registry.gauge("arena.generation").set(float(self.generation))
+        registry.gauge("arena.pooled_bytes").set(float(self.pooled_bytes))
+        registry.gauge("arena.pooled_buffers").set(float(self.pooled_buffers))
+        registry.gauge("arena.rentals").set(float(self.rentals))
+        registry.gauge("arena.reuses").set(float(self.reuses))
+        registry.gauge("arena.fresh_allocations").set(float(self.fresh_allocations))
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferArena(generation={self.generation}, "
+            f"pooled={self.pooled_buffers}, rentals={self.rentals}, "
+            f"reuses={self.reuses})"
+        )
+
+
+# Ambient arena, scoped by ``use_arena`` like the sparse-grad switch.
+_ARENA: Optional[BufferArena] = None
+
+
+class use_arena:
+    """Context manager installing ``arena`` as the process-wide arena.
+
+    >>> with use_arena(BufferArena()):
+    ...     ...  # backward passes and optimizer steps rent buffers
+    """
+
+    def __init__(self, arena: Optional[BufferArena]) -> None:
+        self._arena = arena
+
+    def __enter__(self) -> Optional[BufferArena]:
+        global _ARENA
+        self._previous = _ARENA
+        _ARENA = self._arena
+        return self._arena
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        global _ARENA
+        _ARENA = self._previous
+
+
+def get_active_arena() -> Optional[BufferArena]:
+    """The ambient :class:`BufferArena`, or ``None`` when pooling is off."""
+    return _ARENA
+
+
+def arena_empty(shape, dtype) -> np.ndarray:
+    """Rent an uninitialised buffer from the active arena (or ``np.empty``)."""
+    if _ARENA is not None:
+        return _ARENA.rent(shape, dtype)
+    return np.empty(shape, dtype=dtype)
+
+
+def arena_zeros(shape, dtype) -> np.ndarray:
+    """Rent a zero-filled buffer from the active arena (or ``np.zeros``)."""
+    if _ARENA is not None:
+        return _ARENA.zeros(shape, dtype)
+    return np.zeros(shape, dtype=dtype)

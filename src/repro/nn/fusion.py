@@ -1,0 +1,141 @@
+"""Graph-level fusion pass: substitute fused modules into a model tree.
+
+The fused kernels (``Tensor._fused_linear_relu`` / ``_fused_cross`` /
+``_fused_mlp``) are exposed as opt-in modules in ``repro.nn.layers``;
+:func:`fuse` rewrites an *existing* model in place so registry models
+(``repro.core.towers`` / ``atnn`` / ``standard_dnn``) pick them up with
+no model-code changes:
+
+* an :class:`~repro.nn.layers.mlp.MLP` whose stack is strictly
+  ``Linear`` / (``ReLU`` | ``Identity``) pairs becomes a
+  :class:`~repro.nn.layers.mlp.FusedMLP` (one tape node per forward);
+* every :class:`~repro.nn.layers.cross.CrossLayer` becomes a
+  :class:`~repro.nn.layers.cross.FusedCrossLayer`.
+
+Substitution shares the original ``Parameter`` objects and re-registers
+replacements under the same attribute/positional names, so optimizer
+state, ``state_dict`` layouts and checkpoints are untouched.  Stacks the
+fused kernels cannot express (dropout, sigmoid/tanh) are skipped with a
+recorded reason and keep their exact unfused behaviour.
+
+Every fused forward ticks the ``autograd.fusion_hits`` counter (in the
+active metrics registry and a process-local tally), so a run's telemetry
+shows how much of its graph actually ran fused.
+
+>>> from repro.nn.fusion import fuse
+>>> report = fuse(model)            # doctest: +SKIP
+>>> print(report.to_text())         # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "FusionReport",
+    "fuse",
+    "record_fusion_hit",
+    "fusion_hits",
+    "reset_fusion_hits",
+]
+
+# Process-local tally of fused-op forward calls, by kind.  The active
+# metrics registry (when any) gets the same ticks under the single
+# ``autograd.fusion_hits`` counter name.
+_HITS: Dict[str, int] = {
+    "linear_relu": 0,
+    "cross": 0,
+    "mlp": 0,
+    "embedding_bag": 0,
+}
+
+
+def record_fusion_hit(kind: str) -> None:
+    """Tick the fusion counter for one fused forward call."""
+    _HITS[kind] = _HITS.get(kind, 0) + 1
+    from repro.obs.metrics import get_active_registry
+
+    registry = get_active_registry()
+    if registry is not None:
+        registry.counter(
+            "autograd.fusion_hits",
+            help="forward calls served by fused kernels",
+        ).inc()
+
+
+def fusion_hits() -> Dict[str, int]:
+    """Fused forward calls so far in this process, by kind."""
+    return dict(_HITS)
+
+
+def reset_fusion_hits() -> None:
+    """Zero the process-local fusion tally (benchmarks, tests)."""
+    for key in _HITS:
+        _HITS[key] = 0
+
+
+@dataclass
+class FusionReport:
+    """What :func:`fuse` replaced and what it left alone (and why)."""
+
+    replaced: List[Tuple[str, str]] = field(default_factory=list)
+    skipped: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def num_replaced(self) -> int:
+        return len(self.replaced)
+
+    def to_text(self) -> str:
+        lines = [f"fusion: {self.num_replaced} module(s) replaced"]
+        for path, kind in self.replaced:
+            lines.append(f"  + {path or '<root>'}: {kind}")
+        for path, reason in self.skipped:
+            lines.append(f"  - {path or '<root>'}: skipped ({reason})")
+        return "\n".join(lines)
+
+
+def fuse(model) -> FusionReport:
+    """Substitute fused modules throughout ``model``, in place.
+
+    Returns a :class:`FusionReport`; safe to call on an already-fused
+    tree (idempotent — fused modules are left alone).
+    """
+    report = FusionReport()
+    _fuse_children(model, "", report)
+    return report
+
+
+def _fuse_children(module, prefix: str, report: FusionReport) -> None:
+    # Imports are local so layer modules can import record_fusion_hit
+    # from here without a cycle.
+    from repro.nn.layers.cross import CrossLayer, FusedCrossLayer
+    from repro.nn.layers.embedding import FeatureEmbeddings, FusedFeatureEmbeddings
+    from repro.nn.layers.mlp import MLP, FusedMLP
+    from repro.nn.module import ModuleList
+
+    for name, child in list(module._modules.items()):
+        path = f"{prefix}{name}"
+        if isinstance(child, (FusedMLP, FusedCrossLayer, FusedFeatureEmbeddings)):
+            continue
+        replacement = None
+        kind = None
+        if type(child) is MLP:
+            replacement, reason = FusedMLP.from_mlp(child)
+            kind = "fused_mlp"
+            if replacement is None:
+                report.skipped.append((path, reason))
+        elif type(child) is CrossLayer:
+            replacement = FusedCrossLayer.from_layer(child)
+            kind = "fused_cross"
+        elif type(child) is FeatureEmbeddings and len(child.feature_names) > 1:
+            replacement = FusedFeatureEmbeddings.from_bank(child)
+            kind = "fused_embedding_bag"
+        if replacement is not None:
+            if isinstance(module, ModuleList):
+                module.replace(int(name), replacement)
+            else:
+                setattr(module, name, replacement)
+            report.replaced.append((path, kind))
+        else:
+            _fuse_children(child, f"{path}.", report)

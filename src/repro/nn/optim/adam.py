@@ -6,6 +6,7 @@ from typing import Dict, Iterable, Tuple
 
 import numpy as np
 
+from repro.nn.arena import arena_empty
 from repro.nn.module import Parameter
 from repro.nn.optim.optimizer import Optimizer
 from repro.nn.sparse import SparseGrad
@@ -82,15 +83,28 @@ class Adam(Optimizer):
         v = self._v[key]
         self._t[key] += 1
         t = self._t[key]
-        # In-place moment updates: the dense sweep is bandwidth-bound, so
-        # avoiding four full-size temporaries per parameter matters.
+        # In-place moment updates over arena scratch: the dense sweep is
+        # bandwidth-bound, so every full-size temporary matters.  The
+        # operation order matches the naive expressions exactly (scalar
+        # multiplies commuted, which is bit-exact), so arena-on and
+        # arena-off runs produce identical weights.
+        scratch = arena_empty(grad.shape, grad.dtype)
         m *= self.beta1
-        m += (1 - self.beta1) * grad
+        np.multiply(grad, 1 - self.beta1, out=scratch)
+        m += scratch
         v *= self.beta2
-        v += (1 - self.beta2) * (grad * grad)
-        m_hat = m / (1 - self.beta1 ** t)
-        v_hat = v / (1 - self.beta2 ** t)
-        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        np.multiply(grad, grad, out=scratch)
+        scratch *= 1 - self.beta2
+        v += scratch
+        m_hat = arena_empty(m.shape, m.dtype)
+        np.divide(m, 1 - self.beta1 ** t, out=m_hat)
+        v_hat = arena_empty(v.shape, v.dtype)
+        np.divide(v, 1 - self.beta2 ** t, out=v_hat)
+        np.sqrt(v_hat, out=v_hat)
+        v_hat += self.eps
+        m_hat *= self.lr
+        m_hat /= v_hat
+        param.data -= m_hat
         param.bump_version()
 
     def _update_sparse(self, param: Parameter, grad: SparseGrad) -> None:
@@ -100,22 +114,40 @@ class Adam(Optimizer):
         if idx.size == 0:
             return
         if self.weight_decay:
-            rows = rows + self.weight_decay * param.data[idx]
+            decayed = arena_empty(rows.shape, rows.dtype)
+            np.take(param.data, idx, axis=0, out=decayed)
+            decayed *= self.weight_decay
+            decayed += rows
+            rows = decayed
         key = id(param)
         self._init_state(param)
         self._t[key] += 1
         t = self._t[key]
         m = self._m[key]
         v = self._v[key]
-        m_rows = m[idx]  # fancy indexing copies
+        # Gather/scatter over arena scratch (np.take with out= instead of
+        # fancy-index copies); operation order is bit-identical to the
+        # naive version, see _update.
+        scratch = arena_empty(rows.shape, rows.dtype)
+        m_rows = arena_empty(rows.shape, rows.dtype)
+        np.take(m, idx, axis=0, out=m_rows)
         m_rows *= self.beta1
-        m_rows += (1 - self.beta1) * rows
+        np.multiply(rows, 1 - self.beta1, out=scratch)
+        m_rows += scratch
         m[idx] = m_rows
-        v_rows = v[idx]
+        v_rows = arena_empty(rows.shape, rows.dtype)
+        np.take(v, idx, axis=0, out=v_rows)
         v_rows *= self.beta2
-        v_rows += (1 - self.beta2) * (rows * rows)
+        np.multiply(rows, rows, out=scratch)
+        scratch *= 1 - self.beta2
+        v_rows += scratch
         v[idx] = v_rows
-        m_hat = m_rows / (1 - self.beta1 ** t)
-        v_hat = v_rows / (1 - self.beta2 ** t)
-        param.data[idx] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        np.divide(m_rows, 1 - self.beta1 ** t, out=scratch)  # m_hat
+        v_hat = arena_empty(rows.shape, rows.dtype)
+        np.divide(v_rows, 1 - self.beta2 ** t, out=v_hat)
+        np.sqrt(v_hat, out=v_hat)
+        v_hat += self.eps
+        scratch *= self.lr
+        scratch /= v_hat
+        param.data[idx] -= scratch
         param.bump_version()

@@ -32,6 +32,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.nn.arena import arena_empty, arena_zeros
 from repro.nn.sparse import SparseGrad, sparse_grads_enabled
 
 __all__ = [
@@ -198,6 +199,7 @@ class Tensor:
         "_topo_cache",
         "_version",
         "_taint",
+        "_owns_grads",
     )
 
     def __init__(
@@ -224,6 +226,11 @@ class Tensor:
         # Non-finite taint record (set by the sanitizer's opt-in NaN/Inf
         # tracking); names the op that first produced a non-finite value.
         self._taint = None
+        # Set by ``_make`` for ops whose backward returns only freshly
+        # allocated buffers (never views of the incoming gradient): those
+        # parent gradients may be adopted and mutated without the
+        # defensive copy in ``_accumulate``/``backward``.
+        self._owns_grads = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -305,13 +312,21 @@ class Tensor:
         data: np.ndarray,
         parents: Sequence["Tensor"],
         backward_fn: Callable[[np.ndarray], None],
+        owns_grads: bool = False,
     ) -> "Tensor":
-        """Create an op output, recording the graph only when needed."""
+        """Create an op output, recording the graph only when needed.
+
+        ``owns_grads`` declares that ``backward_fn`` returns only freshly
+        allocated dense buffers (no views of the incoming gradient, no two
+        outputs aliasing each other), so the engine may adopt them as
+        accumulation buffers and mutate them in place.
+        """
         needs_grad = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=needs_grad)
         if needs_grad:
             out._parents = tuple(parents)
             out._backward_fn = backward_fn
+            out._owns_grads = owns_grads
         return out
 
     def _accumulate(self, grad, owned: bool = False) -> None:
@@ -330,7 +345,9 @@ class Tensor:
             if isinstance(grad, SparseGrad) or owned:
                 self.grad = grad
             else:
-                self.grad = np.array(grad, copy=True)
+                buffer = arena_empty(grad.shape, grad.dtype)
+                np.copyto(buffer, grad)
+                self.grad = buffer
         elif isinstance(self.grad, SparseGrad):
             if isinstance(grad, SparseGrad):
                 self.grad = self.grad.merge(grad)
@@ -392,12 +409,15 @@ class Tensor:
                 # densify for the rare case of a non-leaf consumer.
                 node_grad = node_grad.to_dense()
             parent_grads = node._backward_fn(node_grad)
+            node_owns = node._owns_grads
             for parent, parent_grad in zip(node._parents, parent_grads):
                 if parent_grad is None or not parent.requires_grad:
                     continue
                 key = id(parent)
                 if key not in grads:
                     grads[key] = parent_grad
+                    if node_owns and not isinstance(parent_grad, SparseGrad):
+                        owned.add(key)
                     continue
                 current = grads[key]
                 current_sparse = isinstance(current, SparseGrad)
@@ -416,12 +436,24 @@ class Tensor:
                 elif incoming_sparse:
                     # Unowned dense + sparse: copy the dense buffer once and
                     # scatter the rows in (never densify the sparse side).
-                    grads[key] = parent_grad + current
+                    buffer = arena_empty(current.shape, current.dtype)
+                    np.copyto(buffer, current)
+                    parent_grad.add_into(buffer)
+                    grads[key] = buffer
                     owned.add(key)
                 else:
                     # sparse + dense, or unowned dense + dense: both allocate
                     # a fresh buffer we then own.
-                    grads[key] = current + parent_grad
+                    if (
+                        not current_sparse
+                        and current.shape == parent_grad.shape
+                        and current.dtype == parent_grad.dtype
+                    ):
+                        merged = arena_empty(current.shape, current.dtype)
+                        np.add(current, parent_grad, out=merged)
+                        grads[key] = merged
+                    else:
+                        grads[key] = current + parent_grad
                     owned.add(key)
 
     def _topological_order(self) -> List["Tensor"]:
@@ -544,7 +576,9 @@ class Tensor:
         def backward(grad: np.ndarray):
             return (grad @ b.data.T, a.data.T @ grad)
 
-        return Tensor._make(a.data @ b.data, (a, b), backward)
+        # Both parent grads are fresh matmul outputs: the engine may adopt
+        # them as accumulation buffers without the defensive copy.
+        return Tensor._make(a.data @ b.data, (a, b), backward, owns_grads=True)
 
     def transpose(self) -> "Tensor":
         """Transpose of a 2-D tensor."""
@@ -577,11 +611,11 @@ class Tensor:
         value = a.data[index]
 
         def backward(grad: np.ndarray):
-            full = np.zeros_like(a.data)
+            full = arena_zeros(a.data.shape, a.data.dtype)
             np.add.at(full, index, grad)
             return (full,)
 
-        return Tensor._make(value, (a,), backward)
+        return Tensor._make(value, (a,), backward, owns_grads=True)
 
     # ------------------------------------------------------------------
     # Reductions
@@ -597,9 +631,11 @@ class Tensor:
                 axes = (axis,) if isinstance(axis, int) else tuple(axis)
                 for ax in sorted(ax % a.ndim for ax in axes):
                     g = np.expand_dims(g, ax)
-            return (np.broadcast_to(g, a.shape).copy(),)
+            buffer = arena_empty(a.shape, grad.dtype)
+            np.copyto(buffer, g)  # copyto broadcasts g across a.shape
+            return (buffer,)
 
-        return Tensor._make(value, (a,), backward)
+        return Tensor._make(value, (a,), backward, owns_grads=True)
 
     def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
         """Maximum reduction; gradient flows to the (first) argmax entries."""
@@ -684,9 +720,11 @@ class Tensor:
         mask = a.data > 0
 
         def backward(grad: np.ndarray):
-            return (grad * mask,)
+            buffer = arena_empty(grad.shape, grad.dtype)
+            np.multiply(grad, mask, out=buffer)
+            return (buffer,)
 
-        return Tensor._make(a.data * mask, (a,), backward)
+        return Tensor._make(a.data * mask, (a,), backward, owns_grads=True)
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         a = self
@@ -769,8 +807,10 @@ class Tensor:
         def backward(grad: np.ndarray):
             if not sparse_grads_enabled():
                 # Legacy dense path, kept for benchmarking and as a
-                # fallback: materialises the full table every step.
-                full = np.zeros_like(weight.data)
+                # fallback: materialises the full table every step.  Not
+                # arena-pooled: the buffer is vocab x dim, and pooling it
+                # would pin the whole table's worth of memory per step.
+                full = np.zeros_like(weight.data)  # repro-lint: disable=ATN006 -- legacy dense fallback; pooling a vocab x dim buffer would pin table-sized memory
                 np.add.at(full, indices, grad)
                 return (full,)
             dim = weight.data.shape[1]
@@ -778,6 +818,261 @@ class Tensor:
             return (SparseGrad.from_rows(indices, rows, weight.data.shape),)
 
         return Tensor._make(value, (weight,), backward)
+
+    # ------------------------------------------------------------------
+    # Fused ops (perf round 2)
+    # ------------------------------------------------------------------
+    # Each fused op collapses a multi-node subgraph into a single tape
+    # node: one forward kernel over preallocated storage and one backward
+    # closure, eliminating the python-level dispatch, intermediate Tensor
+    # wrappers and per-node gradient buffers of the unfused chain.  All
+    # scratch comes from the ambient BufferArena when one is installed.
+    # The fused modules in ``repro.nn.layers`` and the graph-level
+    # substitution pass in ``repro.nn.fusion`` are the public surface.
+    @staticmethod
+    def _fused_linear_relu(
+        x: "Tensor", weight: "Tensor", bias: Optional["Tensor"] = None
+    ) -> "Tensor":
+        """``relu(x @ weight + bias)`` as one node.
+
+        Forward is a single matmul with the bias-add and the ReLU applied
+        in place on the matmul output; backward masks the incoming
+        gradient once and feeds both parent matmuls from the masked
+        buffer.
+        """
+        if x.ndim != 2 or weight.ndim != 2:
+            raise ValueError(
+                f"fused_linear_relu expects 2-D operands, got "
+                f"{x.shape} @ {weight.shape}"
+            )
+        value = x.data @ weight.data
+        if bias is not None:
+            value += bias.data
+        np.maximum(value, 0.0, out=value)
+        parents = (x, weight) if bias is None else (x, weight, bias)
+
+        def backward(grad: np.ndarray):
+            # The pre-activation is only needed through its sign, and
+            # relu output > 0 iff pre-activation > 0 — so the saved
+            # output doubles as the mask and the pre-activation is never
+            # materialised.
+            mask = arena_empty(value.shape, np.bool_)
+            np.greater(value, 0.0, out=mask)
+            masked = arena_empty(grad.shape, grad.dtype)
+            np.multiply(grad, mask, out=masked)
+            grad_x = masked @ weight.data.T
+            grad_w = x.data.T @ masked
+            if bias is None:
+                return (grad_x, grad_w)
+            return (grad_x, grad_w, masked.sum(axis=0))
+
+        return Tensor._make(value, parents, backward, owns_grads=True)
+
+    @staticmethod
+    def _fused_cross(
+        x0: "Tensor", x: "Tensor", weight: "Tensor", bias: "Tensor"
+    ) -> "Tensor":
+        """DCN cross layer ``x0 * (x @ w) + b + x`` as one node.
+
+        The unfused chain records four nodes (matmul, mul, two adds) and
+        five gradient buffers; the fused op records one node and reuses
+        the row-sum projection for all four parent gradients.  ``x0`` and
+        ``x`` may be the same tensor (first layer of a cross network) —
+        the engine merges the two gradient contributions by identity.
+        """
+        if x.ndim != 2 or weight.ndim != 2 or weight.shape[1] != 1:
+            raise ValueError(
+                f"fused_cross expects x (batch, d) and weight (d, 1), got "
+                f"{x.shape} and {weight.shape}"
+            )
+        proj = x.data @ weight.data  # (batch, 1)
+        value = x0.data * proj
+        value += bias.data
+        value += x.data
+
+        def backward(grad: np.ndarray):
+            # s = rowsum(grad * x0): the only reduction the whole layer
+            # needs; feeds grad_x, grad_w directly.
+            scratch = arena_empty(grad.shape, grad.dtype)
+            np.multiply(grad, x0.data, out=scratch)
+            s = scratch.sum(axis=1, keepdims=True)  # (batch, 1)
+            grad_x0 = arena_empty(grad.shape, grad.dtype)
+            np.multiply(grad, proj, out=grad_x0)
+            grad_x = arena_empty(grad.shape, grad.dtype)
+            np.multiply(s, weight.data.T, out=grad_x)
+            grad_x += grad
+            grad_w = x.data.T @ s
+            grad_b = grad.sum(axis=0)
+            return (grad_x0, grad_x, grad_w, grad_b)
+
+        return Tensor._make(value, (x0, x, weight, bias), backward, owns_grads=True)
+
+    @staticmethod
+    def _fused_mlp(
+        x: "Tensor",
+        layers: Sequence[Tuple["Tensor", Optional["Tensor"], bool]],
+    ) -> "Tensor":
+        """A whole Linear/ReLU stack as one tape node.
+
+        ``layers`` is a sequence of ``(weight, bias_or_None, relu)``
+        triples.  Forward runs the stack over in-place bias/ReLU kernels,
+        saving only the per-layer outputs; backward replays the chain in
+        reverse inside a single closure, so an L-layer MLP costs one
+        python-level graph node instead of ~3L.
+        """
+        layers = [tuple(spec) for spec in layers]
+        if not layers:
+            raise ValueError("fused_mlp expects at least one layer")
+        hidden = x.data
+        saved = [hidden]
+        for weight, bias_t, activate in layers:
+            out = hidden @ weight.data
+            if bias_t is not None:
+                out += bias_t.data
+            if activate:
+                np.maximum(out, 0.0, out=out)
+            hidden = out
+            saved.append(hidden)
+        parents: List["Tensor"] = [x]
+        for weight, bias_t, _ in layers:
+            parents.append(weight)
+            if bias_t is not None:
+                parents.append(bias_t)
+
+        def backward(grad: np.ndarray):
+            per_layer: List[Tuple[np.ndarray, ...]] = []
+            g = grad
+            for i in range(len(layers) - 1, -1, -1):
+                weight, bias_t, activate = layers[i]
+                if activate:
+                    mask = arena_empty(saved[i + 1].shape, np.bool_)
+                    np.greater(saved[i + 1], 0.0, out=mask)
+                    masked = arena_empty(g.shape, g.dtype)
+                    np.multiply(g, mask, out=masked)
+                    g = masked
+                grad_w = saved[i].T @ g
+                if bias_t is not None:
+                    per_layer.append((grad_w, g.sum(axis=0)))
+                else:
+                    per_layer.append((grad_w,))
+                g = g @ weight.data.T
+            flat: List[np.ndarray] = [g]
+            for grads in reversed(per_layer):
+                flat.extend(grads)
+            return tuple(flat)
+
+        return Tensor._make(saved[-1], tuple(parents), backward, owns_grads=True)
+
+    @staticmethod
+    def _fused_bce_logits(logits: "Tensor", targets: np.ndarray) -> "Tensor":
+        """Mean stable BCE ``mean(max(z,0) - z*y + log(1+exp(-|z|)))`` fused.
+
+        The unfused loss records ~9 tape nodes over batch-sized
+        intermediates (relu, mul, abs, neg, exp, add, log, sub, mean);
+        fused it is one node whose forward applies the identical
+        elementwise sequence (so the loss *value* is bit-identical to the
+        composed chain) and whose backward evaluates the closed form
+        ``(step(z) - y - sign(z)*e/(1+e)) / N`` in one pass —
+        algebraically ``sigmoid(z) - y``, expressed through the same
+        subgradient conventions (``relu'(0) = 0``, ``sign(0) = 0``) as
+        the unfused graph.
+        """
+        z = logits.data
+        if targets.shape != z.shape:
+            raise ValueError(
+                f"targets shape {targets.shape} does not match logits {z.shape}"
+            )
+        exp_neg_abs = np.exp(-np.abs(z))
+        elementwise = np.maximum(z, 0.0)
+        elementwise -= z * targets
+        elementwise += np.log(1.0 + exp_neg_abs)
+        value = elementwise.mean()
+        inverse_n = 1.0 / max(z.size, 1)
+
+        def backward(grad: np.ndarray):
+            grad_z = arena_empty(z.shape, z.dtype)
+            np.greater(z, 0.0, out=grad_z)  # step(z) as 0/1 floats
+            grad_z -= targets
+            ratio = arena_empty(z.shape, z.dtype)
+            np.sign(z, out=ratio)
+            ratio *= exp_neg_abs
+            denominator = arena_empty(z.shape, z.dtype)
+            np.add(exp_neg_abs, 1.0, out=denominator)
+            ratio /= denominator
+            grad_z -= ratio
+            grad_z *= grad * inverse_n
+            return (grad_z,)
+
+        return Tensor._make(value, (logits,), backward, owns_grads=True)
+
+    @staticmethod
+    def _fused_embedding_bag(
+        weights: Sequence["Tensor"], indices_list: Sequence[np.ndarray]
+    ) -> "Tensor":
+        """Concatenated per-feature embedding lookups as one tape node.
+
+        The unfused embedding block records one lookup node per table plus
+        a concat node, and its backward splits the gradient into per-table
+        copies before building each :class:`SparseGrad`.  Fused, the
+        forward gathers every table directly into column slices of one
+        output buffer and the backward hands each table a *view* of its
+        gradient columns — ``SparseGrad`` compaction does the only copy.
+        Tables may be shared between features (ATNN's generator/encoder
+        share item-profile tables); the engine merges the duplicate
+        parents' sparse gradients by identity.
+        """
+        weights = list(weights)
+        indices_list = [np.asarray(ix) for ix in indices_list]
+        if not weights or len(weights) != len(indices_list):
+            raise ValueError(
+                f"fused_embedding_bag expects matched non-empty weights and "
+                f"indices, got {len(weights)} and {len(indices_list)}"
+            )
+        batch = indices_list[0].shape[0] if indices_list[0].ndim == 1 else -1
+        for weight, indices in zip(weights, indices_list):
+            if indices.dtype.kind not in "iu":
+                raise TypeError(
+                    f"embedding indices must be integers, got {indices.dtype}"
+                )
+            if indices.ndim != 1 or indices.shape[0] != batch:
+                raise ValueError(
+                    "fused_embedding_bag expects aligned 1-D index arrays, "
+                    f"got shapes {[ix.shape for ix in indices_list]}"
+                )
+            if weight.ndim != 2:
+                raise ValueError(
+                    f"embedding weight must be 2-D, got {weight.shape}"
+                )
+            vocab = weight.shape[0]
+            if indices.size and (indices.min() < 0 or indices.max() >= vocab):
+                raise IndexError(
+                    f"embedding index out of range [0, {vocab}): "
+                    f"min={indices.min()}, max={indices.max()}"
+                )
+        dims = [weight.shape[1] for weight in weights]
+        splits = []
+        offset = 0
+        for dim in dims:
+            splits.append((offset, offset + dim))
+            offset += dim
+        value = np.empty((batch, offset), dtype=weights[0].data.dtype)
+        for weight, indices, (lo, hi) in zip(weights, indices_list, splits):
+            np.take(weight.data, indices, axis=0, out=value[:, lo:hi], mode="clip")
+
+        def backward(grad: np.ndarray):
+            if not sparse_grads_enabled():
+                outs = []
+                for weight, indices, (lo, hi) in zip(weights, indices_list, splits):
+                    full = np.zeros_like(weight.data)  # repro-lint: disable=ATN006 -- legacy dense fallback; pooling a vocab x dim buffer would pin table-sized memory
+                    np.add.at(full, indices, grad[:, lo:hi])
+                    outs.append(full)
+                return tuple(outs)
+            return tuple(
+                SparseGrad.from_rows(indices, grad[:, lo:hi], weight.data.shape)
+                for weight, indices, (lo, hi) in zip(weights, indices_list, splits)
+            )
+
+        return Tensor._make(value, tuple(weights), backward, owns_grads=True)
 
 
 def concat(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
@@ -800,3 +1095,30 @@ def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
     ``use_sparse_grads(False)`` to fall back to the legacy dense scatter.
     """
     return Tensor._embedding_lookup(weight, indices)
+
+
+def fused_linear_relu(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """``relu(x @ weight + bias)`` as a single fused tape node."""
+    return Tensor._fused_linear_relu(x, weight, bias)
+
+
+def fused_cross(x0: Tensor, x: Tensor, weight: Tensor, bias: Tensor) -> Tensor:
+    """DCN cross layer ``x0 * (x @ w) + b + x`` as a single fused tape node."""
+    return Tensor._fused_cross(x0, x, weight, bias)
+
+
+def fused_mlp(
+    x: Tensor, layers: Sequence[Tuple[Tensor, Optional[Tensor], bool]]
+) -> Tensor:
+    """A Linear/ReLU stack as a single fused tape node.
+
+    ``layers`` is a sequence of ``(weight, bias_or_None, relu)`` triples.
+    """
+    return Tensor._fused_mlp(x, layers)
+
+
+def fused_embedding_bag(
+    weights: Sequence[Tensor], indices_list: Sequence[np.ndarray]
+) -> Tensor:
+    """Concatenated embedding lookups over several tables as one fused node."""
+    return Tensor._fused_embedding_bag(weights, indices_list)

@@ -1,0 +1,201 @@
+"""Buffer arena: pooling floor, generation lifecycle, reuse-after-free.
+
+The arena's contract is narrow — a rented buffer is valid until the next
+``advance()`` — so these tests pin the lifecycle edges: floor bypass,
+recycling across generations, the per-key cap, stamp bookkeeping, and the
+sanitizer catching a buffer held across its generation boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import GradSanitizer
+from repro.analysis.sanitizer import SanitizerError
+from repro.nn import Tensor, use_sparse_grads
+from repro.nn.arena import (
+    DEFAULT_MIN_BYTES,
+    BufferArena,
+    arena_empty,
+    arena_zeros,
+    get_active_arena,
+    use_arena,
+)
+
+# Comfortably above the 32 KiB pooling floor for float64.
+BIG = (256, 64)
+
+
+class TestPoolingFloor:
+    def test_small_rentals_bypass_the_pool(self):
+        arena = BufferArena()
+        buffer = arena.rent((8, 8), np.float64)
+        assert buffer.shape == (8, 8)
+        assert not arena.owns(buffer)
+        assert arena.unpooled == 1
+        assert arena.rentals == 0
+
+    def test_floor_boundary(self):
+        arena = BufferArena()
+        below = (DEFAULT_MIN_BYTES // 8 - 1,)
+        at = (DEFAULT_MIN_BYTES // 8,)
+        assert not arena.owns(arena.rent(below, np.float64))
+        assert arena.owns(arena.rent(at, np.float64))
+
+    def test_floor_is_in_bytes_not_elements(self):
+        arena = BufferArena()
+        elements = (DEFAULT_MIN_BYTES // 8,)
+        assert arena.owns(arena.rent(elements, np.float64))
+        # Same element count in float32 is half the bytes: below floor.
+        assert not arena.owns(
+            arena.rent(elements, np.float32)  # repro-lint: disable=ATN002 -- floor semantics under test
+        )
+
+    def test_custom_floor(self):
+        arena = BufferArena(min_bytes=0)
+        assert arena.owns(arena.rent((2,), np.float64))
+
+    def test_small_zeros_are_calloced(self):
+        arena = BufferArena()
+        buffer = arena.zeros((4, 4), np.float64)
+        assert not buffer.any()
+        assert not arena.owns(buffer)
+
+
+class TestLifecycle:
+    def test_reuse_across_advance(self):
+        arena = BufferArena()
+        first = arena.rent(BIG, np.float64)
+        assert arena.fresh_allocations == 1
+        arena.advance()
+        second = arena.rent(BIG, np.float64)
+        assert second is first
+        assert arena.reuses == 1
+        assert arena.rentals == 2
+
+    def test_no_reuse_within_a_generation(self):
+        arena = BufferArena()
+        first = arena.rent(BIG, np.float64)
+        second = arena.rent(BIG, np.float64)
+        assert second is not first
+
+    def test_distinct_keys_never_alias(self):
+        arena = BufferArena()
+        a = arena.rent(BIG, np.float64)
+        arena.advance()
+        b = arena.rent((BIG[0] * BIG[1],), np.float64)
+        assert b is not a
+
+    def test_generation_stamps(self):
+        arena = BufferArena()
+        buffer = arena.rent(BIG, np.float64)
+        assert arena.generation_of(buffer) == 0
+        arena.advance()
+        reused = arena.rent(BIG, np.float64)
+        assert arena.generation_of(reused) == 1
+        assert arena.generation_of(np.empty(BIG)) is None
+
+    def test_zeros_reuses_and_clears(self):
+        arena = BufferArena()
+        buffer = arena.rent(BIG, np.float64)
+        buffer.fill(7.0)
+        arena.advance()
+        recycled = arena.zeros(BIG, np.float64)
+        assert recycled is buffer
+        assert not recycled.any()
+
+    def test_per_key_cap_drops_overflow(self):
+        arena = BufferArena(max_buffers_per_key=2, min_bytes=0)
+        buffers = [arena.rent((16,), np.float64) for _ in range(5)]
+        arena.advance()
+        assert arena.dropped == 3
+        assert arena.pooled_buffers == 2
+        # Dropped buffers lose their stamp: the arena no longer owns them.
+        assert sum(arena.owns(b) for b in buffers) == 2
+
+    def test_reset_drops_everything(self):
+        arena = BufferArena()
+        buffer = arena.rent(BIG, np.float64)
+        arena.advance()
+        arena.reset()
+        assert arena.pooled_buffers == 0
+        assert arena.pooled_bytes == 0
+        assert not arena.owns(buffer)
+
+    def test_stats_shape(self):
+        arena = BufferArena()
+        arena.rent(BIG, np.float64)
+        arena.rent((2, 2), np.float64)
+        arena.advance()
+        stats = arena.stats()
+        assert stats["generation"] == 1
+        assert stats["rentals"] == 1
+        assert stats["fresh_allocations"] == 1
+        assert stats["unpooled"] == 1
+        assert stats["pooled_buffers"] == 1
+        assert stats["pooled_bytes"] == 8 * BIG[0] * BIG[1]
+
+
+class TestAmbientArena:
+    def test_module_helpers_without_arena(self):
+        assert get_active_arena() is None
+        empty = arena_empty((3, 3), np.float64)
+        zeros = arena_zeros((3, 3), np.float64)
+        assert empty.shape == (3, 3)
+        assert not zeros.any()
+
+    def test_use_arena_installs_and_restores(self):
+        arena = BufferArena()
+        with use_arena(arena):
+            assert get_active_arena() is arena
+            rented = arena_empty(BIG, np.float64)
+            assert arena.owns(rented)
+        assert get_active_arena() is None
+
+    def test_nested_scopes_restore_outer(self):
+        outer, inner = BufferArena(), BufferArena()
+        with use_arena(outer):
+            with use_arena(inner):
+                assert get_active_arena() is inner
+            assert get_active_arena() is outer
+
+
+class TestReuseAfterFree:
+    def _training_step(self, steps=1, advance_between=True):
+        """Run backward passes renting arena buffers like the optimizer does."""
+        rng = np.random.default_rng(0)
+        w = Tensor(rng.standard_normal(BIG), requires_grad=True)
+        for _ in range(steps):
+            w.zero_grad()
+            (w * 2.0).sum().backward()
+            if advance_between:
+                get_active_arena().advance()
+        return w
+
+    def test_sanitizer_accepts_disciplined_arena_use(self):
+        with use_arena(BufferArena()), GradSanitizer():
+            self._training_step(steps=3)
+
+    def test_sanitizer_flags_buffer_held_across_advance(self):
+        """A saved-for-backward arena buffer must not outlive its generation."""
+        arena = BufferArena()
+        rng = np.random.default_rng(0)
+        with use_arena(arena), use_sparse_grads(False), GradSanitizer():
+            x = Tensor(arena.rent(BIG, np.float64), requires_grad=True)
+            x.data[:] = rng.standard_normal(BIG)  # repro-lint: disable=ATN001 -- seeding a fresh rental, no graph yet
+            loss = (x * x).sum()
+            # The generation ends while ``x.data`` is still saved for the
+            # pending backward: classic reuse-after-free.
+            arena.advance()
+            arena.rent(BIG, np.float64).fill(0.0)
+            with pytest.raises(SanitizerError):
+                loss.backward()
+
+    def test_unstamped_buffers_are_exempt(self):
+        """Below-floor buffers carry no stamp, so holding them is fine."""
+        arena = BufferArena()
+        with use_arena(arena), GradSanitizer():
+            x = Tensor(arena.rent((4, 4), np.float64), requires_grad=True)
+            x.data[:] = 1.0  # repro-lint: disable=ATN001 -- seeding a fresh rental, no graph yet
+            loss = (x * x).sum()
+            arena.advance()
+            loss.backward()

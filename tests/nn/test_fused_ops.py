@@ -1,0 +1,409 @@
+"""Fused tape nodes must match their unfused subgraphs, gradient for gradient.
+
+Covers the five round-2 fused kernels (linear+relu, DCN cross, MLP stack,
+embedding bag, BCE-with-logits), the graph-level ``fuse()`` substitution
+pass, and the interaction with the runtime sanitizer and the buffer arena.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis import GradSanitizer
+from repro.nn import (
+    Tensor,
+    check_gradients,
+    default_dtype,
+    fused_embedding_bag,
+    fused_linear_relu,
+    use_sparse_grads,
+)
+from repro.nn.arena import BufferArena, use_arena
+from repro.nn.fusion import fuse, fusion_hits, reset_fusion_hits
+from repro.nn.layers import (
+    MLP,
+    FeatureEmbeddings,
+    FusedFeatureEmbeddings,
+    FusedMLP,
+    Linear,
+)
+from repro.nn.losses import binary_cross_entropy_with_logits
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import Adam
+from repro.nn.sparse import SparseGrad
+
+DTYPES = [np.float64, np.float32]  # repro-lint: disable=ATN002 -- parity matrix runs both precisions on purpose
+
+
+def _tolerances(dtype):
+    return (
+        {"rtol": 1e-12, "atol": 1e-12}
+        if np.dtype(dtype) == np.float64
+        else {"rtol": 1e-5, "atol": 1e-6}
+    )
+
+
+# ----------------------------------------------------------------------
+# fused_linear_relu
+# ----------------------------------------------------------------------
+class TestFusedLinearRelu:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_matches_unfused(self, rng, dtype):
+        x_data = rng.standard_normal((6, 5)).astype(dtype)
+        w_data = rng.standard_normal((5, 3)).astype(dtype)
+        b_data = rng.standard_normal(3).astype(dtype)
+
+        def run(fused):
+            x = Tensor(x_data.copy(), requires_grad=True)
+            w = Tensor(w_data.copy(), requires_grad=True)
+            b = Tensor(b_data.copy(), requires_grad=True)
+            if fused:
+                out = fused_linear_relu(x, w, b)
+            else:
+                out = (x @ w + b).relu()
+            out.sum().backward()
+            return out.data, [x.grad, w.grad, b.grad]
+
+        fused_out, fused_grads = run(True)
+        plain_out, plain_grads = run(False)
+        np.testing.assert_array_equal(fused_out, plain_out)
+        for fused_grad, plain_grad in zip(fused_grads, plain_grads):
+            np.testing.assert_allclose(
+                fused_grad, plain_grad, **_tolerances(dtype)
+            )
+
+    def test_numerical_gradcheck(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        w = Tensor(rng.standard_normal((4, 2)), requires_grad=True)
+        b = Tensor(rng.standard_normal(2), requires_grad=True)
+        check_gradients(lambda: fused_linear_relu(x, w, b).sum(), [x, w, b])
+
+
+# ----------------------------------------------------------------------
+# fused MLP stack
+# ----------------------------------------------------------------------
+class TestFusedMLP:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_matches_unfused(self, rng, dtype):
+        x_data = rng.standard_normal((8, 6)).astype(dtype)
+        with default_dtype(dtype):
+            mlp = MLP(6, (5, 4), rng=np.random.default_rng(7))
+            mlp.to_dtype(dtype)
+            fused, reason = FusedMLP.from_mlp(mlp)
+            assert fused is not None, reason
+
+            def run(model):
+                for param in model.parameters():
+                    param.zero_grad()
+                out = model(Tensor(x_data.copy()))
+                out.sum().backward()
+                return out.data, [np.asarray(p.grad) for p in model.parameters()]
+
+            plain_out, plain_grads = run(mlp)
+            fused_out, fused_grads = run(fused)
+        np.testing.assert_array_equal(fused_out, plain_out)
+        for fused_grad, plain_grad in zip(fused_grads, plain_grads):
+            np.testing.assert_allclose(
+                fused_grad, plain_grad, **_tolerances(dtype)
+            )
+
+    def test_shares_parameters_with_wrapped_mlp(self):
+        mlp = MLP(4, (3,), rng=np.random.default_rng(0))
+        fused, _ = FusedMLP.from_mlp(mlp)
+        assert [id(p) for p in fused.parameters()] == [
+            id(p) for p in mlp.parameters()
+        ]
+        assert fused.state_dict().keys() == mlp.state_dict().keys()
+
+
+# ----------------------------------------------------------------------
+# fused BCE-with-logits
+# ----------------------------------------------------------------------
+class TestFusedBCELogits:
+    def test_forward_matches_stable_formula_exactly(self, rng):
+        z_data = rng.standard_normal(64) * 8.0
+        targets = (rng.random(64) < 0.5).astype(float)
+        loss = binary_cross_entropy_with_logits(
+            Tensor(z_data, requires_grad=True), targets
+        )
+        expected = np.mean(
+            np.maximum(z_data, 0.0)
+            - z_data * targets
+            + np.log(1.0 + np.exp(-np.abs(z_data)))
+        )
+        assert loss.item() == expected
+
+    def test_backward_is_sigmoid_minus_target(self, rng):
+        z = Tensor(rng.standard_normal(32), requires_grad=True)
+        targets = (rng.random(32) < 0.3).astype(float)
+        binary_cross_entropy_with_logits(z, targets).backward()
+        sigmoid = 1.0 / (1.0 + np.exp(-z.data))
+        np.testing.assert_allclose(
+            z.grad, (sigmoid - targets) / z.shape[0], rtol=1e-12, atol=1e-14
+        )
+
+    def test_extreme_logits_stay_finite(self):
+        z = Tensor(np.array([800.0, -800.0, 0.0]), requires_grad=True)
+        loss = binary_cross_entropy_with_logits(z, np.array([1.0, 0.0, 1.0]))
+        loss.backward()
+        assert np.isfinite(loss.item())
+        assert np.all(np.isfinite(z.grad))
+
+    def test_numerical_gradcheck(self, rng):
+        z = Tensor(rng.standard_normal(10), requires_grad=True)
+        targets = (rng.random(10) < 0.5).astype(float)
+        check_gradients(
+            lambda: binary_cross_entropy_with_logits(z, targets), [z]
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            st.integers(1, 16),
+            elements=st.floats(
+                min_value=-30.0, max_value=30.0,
+                allow_nan=False, allow_infinity=False,
+            ),
+        ),
+        st.integers(0, 2**32 - 1),
+    )
+    def test_gradient_matches_unfused_chain(self, z_data, label_seed):
+        targets = (
+            np.random.default_rng(label_seed).random(z_data.size) < 0.5
+        ).astype(float)
+
+        fused_z = Tensor(z_data.copy(), requires_grad=True)
+        fused_loss = binary_cross_entropy_with_logits(fused_z, targets)
+        fused_loss.backward()
+
+        plain_z = Tensor(z_data.copy(), requires_grad=True)
+        y = Tensor(targets)
+        plain_loss = (
+            plain_z.relu() - plain_z * y + (1.0 + (-plain_z.abs()).exp()).log()
+        ).mean()
+        plain_loss.backward()
+
+        np.testing.assert_allclose(
+            fused_loss.item(), plain_loss.item(), rtol=1e-12, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            fused_z.grad, plain_z.grad, rtol=1e-9, atol=1e-12
+        )
+
+
+# ----------------------------------------------------------------------
+# fused embedding bag
+# ----------------------------------------------------------------------
+class TestFusedEmbeddingBag:
+    VOCABS = {"user": 50, "item": 30, "cat": 7}
+    DIMS = {"user": 4, "item": 3, "cat": 2}
+
+    def _features(self, rng, batch=16):
+        return {
+            name: rng.integers(0, size, size=batch)
+            for name, size in self.VOCABS.items()
+        }
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("sparse", [True, False])
+    def test_matches_unfused_bank(self, rng, dtype, sparse):
+        features = self._features(rng)
+        upstream = rng.standard_normal((16, sum(self.DIMS.values()))).astype(dtype)
+
+        def run(fused):
+            with default_dtype(dtype):
+                bank = FeatureEmbeddings(
+                    self.VOCABS, self.DIMS, rng=np.random.default_rng(3)
+                )
+                bank.to_dtype(dtype)
+                if fused:
+                    bank = FusedFeatureEmbeddings.from_bank(bank)
+                with use_sparse_grads(sparse):
+                    out = bank(features)
+                    (out * Tensor(upstream)).sum().backward()
+            return out.data, [np.asarray(p.grad) for p in bank.parameters()]
+
+        fused_out, fused_grads = run(True)
+        plain_out, plain_grads = run(False)
+        np.testing.assert_array_equal(fused_out, plain_out)
+        for fused_grad, plain_grad in zip(fused_grads, plain_grads):
+            np.testing.assert_allclose(
+                fused_grad, plain_grad, **_tolerances(dtype)
+            )
+
+    def test_sparse_backward_emits_sparse_grads(self, rng):
+        bank = FusedFeatureEmbeddings.from_bank(
+            FeatureEmbeddings(self.VOCABS, self.DIMS, rng=rng)
+        )
+        with use_sparse_grads(True):
+            bank(self._features(rng)).sum().backward()
+        for param in bank.parameters():
+            assert isinstance(param.grad, SparseGrad)
+
+    def test_shared_table_accumulates_both_contributions(self, rng):
+        weight = Parameter(rng.standard_normal((20, 3)))
+        first = rng.integers(0, 20, size=8)
+        second = rng.integers(0, 20, size=8)
+        with use_sparse_grads(False):
+            out = fused_embedding_bag([weight, weight], [first, second])
+            out.sum().backward()
+        expected = np.zeros_like(weight.data)
+        np.add.at(expected, first, 1.0)  # repro-lint: disable=ATN003 -- reference dense scatter
+        np.add.at(expected, second, 1.0)  # repro-lint: disable=ATN003 -- reference dense scatter
+        np.testing.assert_allclose(
+            np.asarray(weight.grad), expected, rtol=1e-12, atol=1e-12
+        )
+
+    def test_duplicate_indices_segment_sum(self, rng):
+        weight = Parameter(rng.standard_normal((10, 2)))
+        indices = np.array([3, 3, 3, 7, 0, 7])
+        upstream = rng.standard_normal((6, 2))
+        with use_sparse_grads(True):
+            out = fused_embedding_bag([weight], [indices])
+            (out * Tensor(upstream)).sum().backward()
+        expected = np.zeros_like(weight.data)
+        np.add.at(expected, indices, upstream)  # repro-lint: disable=ATN003 -- reference dense scatter
+        np.testing.assert_allclose(
+            np.asarray(weight.grad), expected, rtol=1e-12, atol=1e-12
+        )
+
+    def test_rejects_bad_inputs(self, rng):
+        weight = Parameter(rng.standard_normal((10, 2)))
+        with pytest.raises(ValueError):
+            fused_embedding_bag([], [])
+        with pytest.raises(ValueError):
+            fused_embedding_bag([weight], [])
+        with pytest.raises(TypeError):
+            fused_embedding_bag([weight], [np.array([0.5, 1.5])])
+        with pytest.raises(IndexError):
+            fused_embedding_bag([weight], [np.array([0, 10])])
+        with pytest.raises(ValueError):
+            fused_embedding_bag(
+                [weight, weight], [np.array([0, 1]), np.array([0])]
+            )
+
+
+# ----------------------------------------------------------------------
+# the fuse() substitution pass
+# ----------------------------------------------------------------------
+class _BankAndHead(Module):
+    def __init__(self, vocabs, dims, rng):
+        super().__init__()
+        self.embeddings = FeatureEmbeddings(vocabs, dims, rng=rng)
+        self.head = Linear(self.embeddings.output_dim, 1, rng=rng)
+
+    def forward(self, features):
+        return self.head(self.embeddings(features)).reshape((-1,))
+
+
+class TestFusePass:
+    VOCABS = {"user": 40, "item": 25}
+    DIMS = {"user": 4, "item": 3}
+
+    def _model(self):
+        return _BankAndHead(self.VOCABS, self.DIMS, np.random.default_rng(5))
+
+    def test_substitutes_embedding_bank(self):
+        model = self._model()
+        report = fuse(model)
+        assert isinstance(model.embeddings, FusedFeatureEmbeddings)
+        assert ("embeddings", "fused_embedding_bag") in report.replaced
+
+    def test_preserves_state_dict_and_parameter_identity(self):
+        model = self._model()
+        before_keys = list(model.state_dict())
+        before_params = [id(p) for p in model.parameters()]
+        fuse(model)
+        assert list(model.state_dict()) == before_keys
+        assert [id(p) for p in model.parameters()] == before_params
+
+    def test_idempotent(self):
+        model = self._model()
+        first = fuse(model)
+        second = fuse(model)
+        assert first.num_replaced >= 1
+        assert second.num_replaced == 0
+
+    def test_counts_fusion_hits(self, rng):
+        model = self._model()
+        fuse(model)
+        reset_fusion_hits()
+        features = {
+            name: rng.integers(0, size, size=8)
+            for name, size in self.VOCABS.items()
+        }
+        model(features)
+        model(features)
+        assert fusion_hits()["embedding_bag"] == 2
+
+    def test_single_feature_bank_left_alone(self):
+        model = _BankAndHead({"user": 40}, {"user": 4}, np.random.default_rng(5))
+        report = fuse(model)
+        assert not isinstance(model.embeddings, FusedFeatureEmbeddings)
+        assert all(path != "embeddings" for path, _ in report.replaced)
+
+
+# ----------------------------------------------------------------------
+# fused training under the sanitizer and the arena
+# ----------------------------------------------------------------------
+class TestFusedUnderSanitizer:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_fused_arena_train_steps_stay_clean(self, rng, dtype):
+        vocabs = {"user": 60, "item": 40, "cat": 9}
+        dims = {"user": 4, "item": 4, "cat": 2}
+        with default_dtype(dtype):
+            model = _BankAndHead(vocabs, dims, np.random.default_rng(11))
+            model.to_dtype(dtype)
+            fuse(model)
+            optimizer = Adam(model.parameters(), lr=1e-3)
+            labels = (rng.random(32) < 0.4).astype(dtype)
+            sanitizer = GradSanitizer(track_nonfinite=True)
+            with use_sparse_grads(True), use_arena(BufferArena()), sanitizer:
+                for _ in range(4):
+                    optimizer.zero_grad()
+                    features = {
+                        name: rng.integers(0, size, size=32)
+                        for name, size in vocabs.items()
+                    }
+                    loss = binary_cross_entropy_with_logits(
+                        model(features), labels
+                    )
+                    loss.backward()
+                    optimizer.step()
+                    assert np.isfinite(loss.item())
+
+    def test_fused_and_unfused_training_match(self, rng):
+        """Four optimizer steps, fused vs unfused: same final weights."""
+        vocabs = {"user": 30, "item": 20}
+        dims = {"user": 3, "item": 2}
+        batches = [
+            {name: rng.integers(0, size, size=16) for name, size in vocabs.items()}
+            for _ in range(4)
+        ]
+        labels = (rng.random(16) < 0.5).astype(float)
+
+        def train(fused):
+            model = _BankAndHead(vocabs, dims, np.random.default_rng(21))
+            if fused:
+                fuse(model)
+            optimizer = Adam(model.parameters(), lr=1e-2)
+            with use_sparse_grads(True):
+                for features in batches:
+                    optimizer.zero_grad()
+                    loss = binary_cross_entropy_with_logits(
+                        model(features), labels
+                    )
+                    loss.backward()
+                    optimizer.step()
+            return model.state_dict()
+
+        fused_state = train(True)
+        plain_state = train(False)
+        assert fused_state.keys() == plain_state.keys()
+        for key, fused_value in fused_state.items():
+            np.testing.assert_allclose(
+                fused_value, plain_state[key], rtol=1e-9, atol=1e-12
+            )
